@@ -1,0 +1,85 @@
+// Command experiments regenerates the WaterWise paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5
+//	experiments -run all [-paper] [-seed 7]
+//
+// Quick scale (default) runs each experiment in seconds on a laptop; -paper
+// replays the full ten-day, ~230k-job Google-Borg-scale setup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"waterwise/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		id      = flag.String("run", "", "experiment id, or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		paper   = flag.Bool("paper", false, "full paper-scale replay (slow)")
+		seed    = flag.Int64("seed", 7, "RNG seed")
+		jsonOut = flag.Bool("json", false, "emit reports as JSON instead of text")
+	)
+	flag.Parse()
+
+	if *list || *id == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *id == "" {
+			fmt.Println("\nrun one with -run <id>, or everything with -run all")
+		}
+		return nil
+	}
+
+	scale := experiments.Quick()
+	if *paper {
+		scale = experiments.Paper()
+	}
+	scale.Seed = *seed
+
+	if *id == "all" {
+		for _, e := range experiments.All() {
+			if err := runOne(e, scale, *jsonOut); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e, err := experiments.Lookup(*id)
+	if err != nil {
+		return err
+	}
+	return runOne(e, scale, *jsonOut)
+}
+
+func runOne(e experiments.Experiment, scale experiments.Scale, jsonOut bool) error {
+	t0 := time.Now()
+	rep, err := e.Run(scale)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("%s[completed in %v]\n\n", rep, time.Since(t0).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,92 @@
+// Command tracegen synthesizes Borg-like or Alibaba-like job traces and
+// writes them as CSV, for replay with `waterwise -trace` or external
+// analysis.
+//
+// Usage:
+//
+//	tracegen -out trace.csv [-kind borg|alibaba] [-days 1]
+//	         [-jobs-per-day 5000] [-duration-scale 1.0] [-seed 7]
+//	         [-regions zurich,oregon]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"waterwise/internal/region"
+	"waterwise/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		out        = flag.String("out", "", "output CSV path (- for stdout)")
+		kind       = flag.String("kind", "borg", "trace style: borg or alibaba")
+		days       = flag.Int("days", 1, "trace length in days")
+		jobsPerDay = flag.Float64("jobs-per-day", 5000, "mean arrival rate")
+		durScale   = flag.Float64("duration-scale", 1, "job runtime scaling factor")
+		seed       = flag.Int64("seed", 7, "RNG seed")
+		regionsCSV = flag.String("regions", "", "comma-separated home regions (default: all five)")
+	)
+	flag.Parse()
+	if *out == "" {
+		return fmt.Errorf("-out is required (use - for stdout)")
+	}
+
+	ids := []region.ID{region.Zurich, region.Madrid, region.Oregon, region.Milan, region.Mumbai}
+	if *regionsCSV != "" {
+		ids = nil
+		for _, r := range strings.Split(*regionsCSV, ",") {
+			ids = append(ids, region.ID(strings.TrimSpace(r)))
+		}
+		if _, err := region.DefaultsSubset(ids...); err != nil {
+			return err
+		}
+	}
+
+	cfg := trace.Config{
+		Start:         time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC),
+		Duration:      time.Duration(*days) * 24 * time.Hour,
+		JobsPerDay:    *jobsPerDay,
+		Regions:       ids,
+		DurationScale: *durScale,
+		Seed:          *seed,
+	}
+	var jobs []*trace.Job
+	var err error
+	switch *kind {
+	case "borg":
+		jobs, err = trace.GenerateBorgLike(cfg)
+	case "alibaba":
+		jobs, err = trace.GenerateAlibabaLike(cfg)
+	default:
+		return fmt.Errorf("unknown trace kind %q (want borg or alibaba)", *kind)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.WriteCSV(w, jobs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d jobs (%s style, %d days)\n", len(jobs), *kind, *days)
+	return nil
+}

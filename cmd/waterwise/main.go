@@ -1,0 +1,166 @@
+// Command waterwise runs one trace-driven simulation of a scheduling policy
+// over the five-region environment and prints a report: total footprints,
+// savings vs an automatically-run baseline, service time, violations, and
+// the per-region job distribution.
+//
+// Usage:
+//
+//	waterwise [flags]
+//
+//	-scheduler   waterwise|baseline|round-robin|least-load|temporal-shift|
+//	             carbon-greedy-opt|water-greedy-opt|ecovisor   (default waterwise)
+//	-days        trace length in days                          (default 1)
+//	-jobs-per-day mean arrival rate                            (default 5000)
+//	-tolerance   delay tolerance fraction, e.g. 0.5 = 50%      (default 0.5)
+//	-lambda-carbon λ_CO2 objective weight (λ_H2O = 1-λ_CO2)    (default 0.5)
+//	-alibaba     use the bursty Alibaba-style trace
+//	-wri         use the WRI-style water dataset
+//	-regions     comma-separated region subset (default: all five)
+//	-seed        RNG seed                                      (default 7)
+//	-trace       read jobs from a trace CSV instead of generating
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"waterwise"
+	"waterwise/internal/metrics"
+	"waterwise/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "waterwise:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		schedName  = flag.String("scheduler", "waterwise", "scheduling policy")
+		days       = flag.Int("days", 1, "trace length in days")
+		jobsPerDay = flag.Float64("jobs-per-day", 5000, "mean arrival rate")
+		tolerance  = flag.Float64("tolerance", 0.5, "delay tolerance fraction")
+		lambdaC    = flag.Float64("lambda-carbon", 0.5, "carbon objective weight (water gets 1-x)")
+		alibaba    = flag.Bool("alibaba", false, "use the Alibaba-style trace")
+		wri        = flag.Bool("wri", false, "use the WRI-style water dataset")
+		regionsCSV = flag.String("regions", "", "comma-separated region subset")
+		seed       = flag.Int64("seed", 7, "RNG seed")
+		traceFile  = flag.String("trace", "", "trace CSV to replay (overrides generation)")
+	)
+	flag.Parse()
+
+	var regions []waterwise.RegionID
+	if *regionsCSV != "" {
+		for _, r := range strings.Split(*regionsCSV, ",") {
+			regions = append(regions, waterwise.RegionID(strings.TrimSpace(r)))
+		}
+	}
+	env, err := waterwise.NewEnvironment(waterwise.EnvironmentConfig{
+		Regions:         regions,
+		HorizonHours:    (*days + 3) * 24,
+		UseWRIWaterData: *wri,
+		Seed:            *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	var jobs []*waterwise.Job
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		jobs, err = trace.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		tc := waterwise.TraceConfig{Days: *days, JobsPerDay: *jobsPerDay, Seed: *seed + 1}
+		if *alibaba {
+			tc.JobsPerDay *= 8.5
+			tc.DurationScale = 1 / 8.5
+			jobs, err = env.GenerateAlibabaTrace(tc)
+		} else {
+			jobs, err = env.GenerateBorgTrace(tc)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if err := waterwise.Validate(env, jobs); err != nil {
+		return err
+	}
+
+	s, err := buildScheduler(*schedName, *lambdaC)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("simulating %d jobs across %v with %s (tolerance %.0f%%)...\n",
+		len(jobs), env.Regions(), s.Name(), 100**tolerance)
+
+	base, err := env.Run(waterwise.NewBaseline(), jobs, *tolerance)
+	if err != nil {
+		return err
+	}
+	res := base
+	if s.Name() != "baseline" {
+		if res, err = env.Run(s, jobs, *tolerance); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("\ntotal carbon: %.1f kgCO2e   total water: %.0f L\n",
+		res.TotalCarbon().Kg(), float64(res.TotalWater()))
+	if s.Name() != "baseline" {
+		sv, err := waterwise.CompareSavings(base, res)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vs baseline:  carbon %s   water %s\n", metrics.Pct(sv.CarbonPct), metrics.Pct(sv.WaterPct))
+	}
+	fmt.Printf("mean service: %s of execution time   violations: %.2f%%\n",
+		metrics.Times(res.MeanNormalizedService()), 100*res.ViolationRate())
+	fmt.Printf("decision overhead: %.3f%% of mean execution time\n", metrics.MeanOverheadPct(res))
+
+	dist := waterwise.Distribution(res, env.Regions())
+	fmt.Printf("\njob distribution:\n")
+	for _, id := range env.Regions() {
+		fmt.Printf("  %-8s %5.1f%%\n", id, dist[id])
+	}
+	if n := len(res.Unscheduled); n > 0 {
+		fmt.Printf("\nWARNING: %d jobs never scheduled\n", n)
+	}
+	return nil
+}
+
+func buildScheduler(name string, lambdaCarbon float64) (waterwise.Scheduler, error) {
+	switch name {
+	case "waterwise":
+		return waterwise.NewScheduler(waterwise.SchedulerConfig{
+			LambdaCarbon: lambdaCarbon, LambdaWater: 1 - lambdaCarbon,
+		})
+	case "baseline":
+		return waterwise.NewBaseline(), nil
+	case "round-robin":
+		return waterwise.NewRoundRobin(), nil
+	case "least-load":
+		return waterwise.NewLeastLoad(), nil
+	case "carbon-greedy-opt":
+		return waterwise.NewCarbonGreedyOpt(), nil
+	case "water-greedy-opt":
+		return waterwise.NewWaterGreedyOpt(), nil
+	case "ecovisor":
+		return waterwise.NewEcovisor(), nil
+	case "temporal-shift":
+		return waterwise.NewTemporalShift(), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}

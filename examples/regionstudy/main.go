@@ -1,0 +1,72 @@
+// Regionstudy: which regions matter for carbon vs water?
+//
+// Mirrors the paper's Fig. 12 region-availability study: WaterWise is run
+// over different region subsets, showing that availability of a
+// high-carbon-intensity region (Mumbai) creates carbon-saving headroom
+// (its jobs migrate out), while water savings depend on having somewhere
+// water-cheap to go. It also prints each subset's placement distribution.
+//
+//	go run ./examples/regionstudy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"waterwise"
+)
+
+func main() {
+	subsets := [][]waterwise.RegionID{
+		{waterwise.Zurich, waterwise.Madrid, waterwise.Oregon, waterwise.Milan, waterwise.Mumbai},
+		{waterwise.Zurich, waterwise.Madrid, waterwise.Oregon, waterwise.Milan},
+		{waterwise.Zurich, waterwise.Milan, waterwise.Mumbai},
+		{waterwise.Zurich, waterwise.Oregon},
+	}
+	for _, ids := range subsets {
+		if err := study(ids); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func study(ids []waterwise.RegionID) error {
+	env, err := waterwise.NewEnvironment(waterwise.EnvironmentConfig{
+		Regions: ids, Seed: 33, HorizonHours: 4 * 24,
+	})
+	if err != nil {
+		return err
+	}
+	jobs, err := env.GenerateBorgTrace(waterwise.TraceConfig{
+		Days: 1, JobsPerDay: 1200 * float64(len(ids)), Seed: 3,
+	})
+	if err != nil {
+		return err
+	}
+	base, err := env.Run(waterwise.NewBaseline(), jobs, 0.5)
+	if err != nil {
+		return err
+	}
+	sched, err := waterwise.NewScheduler(waterwise.SchedulerConfig{})
+	if err != nil {
+		return err
+	}
+	run, err := env.Run(sched, jobs, 0.5)
+	if err != nil {
+		return err
+	}
+	sv, err := waterwise.CompareSavings(base, run)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("regions %v (%d jobs)\n", ids, len(jobs))
+	fmt.Printf("  carbon saving %6.1f%%   water saving %6.1f%%\n", sv.CarbonPct, sv.WaterPct)
+	dist := waterwise.Distribution(run, env.Regions())
+	fmt.Printf("  placement:")
+	for _, id := range env.Regions() {
+		fmt.Printf("  %s %.0f%%", id, dist[id])
+	}
+	fmt.Printf("\n\n")
+	return nil
+}

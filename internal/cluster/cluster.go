@@ -1,0 +1,439 @@
+// Package cluster implements the trace-driven discrete-event simulator of
+// the geographically distributed data center WaterWise schedules. It plays
+// a job trace against an environment (regional grids + weather), invokes a
+// pluggable Scheduler at a fixed cadence, enforces per-region server
+// capacity with a per-server machine model, and accounts the carbon and water
+// footprint, service time, and delay-tolerance violations of every job —
+// the figures of merit of the paper's evaluation.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"waterwise/internal/footprint"
+	"waterwise/internal/region"
+	"waterwise/internal/trace"
+	"waterwise/internal/transfer"
+	"waterwise/internal/units"
+	"waterwise/internal/workload"
+)
+
+// PendingJob is a job awaiting a placement decision, with the bookkeeping
+// the slack manager needs (T_start in Eq. 14 is when the controller first
+// received the job).
+type PendingJob struct {
+	Job *trace.Job
+	// FirstSeen is when the controller first saw this job.
+	FirstSeen time.Time
+	// Deferrals counts how many scheduling rounds have passed it over.
+	Deferrals int
+}
+
+// Decision places one job in a region. StartAt lets oracle schedulers
+// (Carbon/Water-Greedy-Opt) deliberately delay execution; the zero value
+// means "as soon as possible" (now + transfer latency). DurationOverride
+// and EnergyOverride let power-scaling schedulers (Ecovisor) stretch a job;
+// zero values mean "use the job's actuals".
+type Decision struct {
+	Job              *trace.Job
+	Region           region.ID
+	StartAt          time.Time
+	DurationOverride time.Duration
+	EnergyOverride   units.KWh
+}
+
+// Context is everything a Scheduler may consult when deciding. Schedulers
+// other than the explicitly-labelled oracle ones must only read the
+// environment at Now (no future peeking).
+type Context struct {
+	Now  time.Time
+	Jobs []*PendingJob
+	// Free is the number of servers per region free right now.
+	Free map[region.ID]int
+	// Busy is the number of servers per region currently reserved.
+	Busy map[region.ID]int
+	Env  *region.Environment
+	Net  *transfer.Model
+	FP   *footprint.Model
+	// Tolerance is the delay tolerance TOL as a fraction (0.25 = 25%).
+	Tolerance float64
+	// FreeAt reports how many servers of a region are free for the whole
+	// interval [start, start+exec). It reflects only committed decisions,
+	// not ones made earlier in the same Schedule call — schedulers must
+	// track their own intra-batch placements.
+	FreeAt func(id region.ID, start time.Time, exec time.Duration) int
+}
+
+// Scheduler decides job placement. Jobs absent from the returned decisions
+// stay pending and are offered again next round.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Schedule returns placement decisions for (a subset of) ctx.Jobs.
+	Schedule(ctx *Context) ([]Decision, error)
+}
+
+// JobOutcome records everything measured about one executed job.
+type JobOutcome struct {
+	Job      *trace.Job
+	Region   region.ID
+	Start    time.Time
+	Finish   time.Time
+	Transfer time.Duration
+	// Exec is the realized execution duration (possibly stretched by an
+	// override).
+	Exec time.Duration
+	// Compute is the footprint of execution (Eq. 1-5).
+	Compute footprint.Footprint
+	// Comm is the footprint of moving the package across regions.
+	Comm footprint.Footprint
+	// CostUSD is the electricity spend of the execution (price x PUE x
+	// energy), for the paper's §7 cost-objective extension.
+	CostUSD float64
+	// Violated reports whether service time exceeded (1+TOL)*exec-estimate.
+	Violated bool
+}
+
+// ServiceTime is the user-visible latency: submission to completion.
+func (o JobOutcome) ServiceTime() time.Duration { return o.Finish.Sub(o.Job.Submit) }
+
+// NormalizedService is service time over home-region execution time — the
+// paper's Table 2 metric.
+func (o JobOutcome) NormalizedService() float64 {
+	if o.Job.Duration <= 0 {
+		return 1
+	}
+	return float64(o.ServiceTime()) / float64(o.Job.Duration)
+}
+
+// TickStat records one scheduling round's decision-making cost (Fig. 13).
+type TickStat struct {
+	At       time.Time
+	Batch    int
+	Decided  int
+	Overhead time.Duration
+}
+
+// Result aggregates a whole simulation run.
+type Result struct {
+	Scheduler string
+	Tolerance float64
+	Outcomes  []JobOutcome
+	Ticks     []TickStat
+	// Unscheduled are jobs that never received a placement (should be
+	// empty; non-empty indicates a scheduler bug or impossible capacity).
+	Unscheduled []*trace.Job
+}
+
+// TotalCarbon sums compute+comm carbon across all jobs.
+func (r *Result) TotalCarbon() units.GramsCO2 {
+	var g units.GramsCO2
+	for _, o := range r.Outcomes {
+		g += o.Compute.Carbon() + o.Comm.Carbon()
+	}
+	return g
+}
+
+// TotalCostUSD sums the electricity spend across all jobs.
+func (r *Result) TotalCostUSD() float64 {
+	c := 0.0
+	for _, o := range r.Outcomes {
+		c += o.CostUSD
+	}
+	return c
+}
+
+// TotalWater sums compute+comm water across all jobs.
+func (r *Result) TotalWater() units.Liters {
+	var w units.Liters
+	for _, o := range r.Outcomes {
+		w += o.Compute.Water() + o.Comm.Water()
+	}
+	return w
+}
+
+// MeanNormalizedService is the average of Table 2's service-time metric.
+func (r *Result) MeanNormalizedService() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, o := range r.Outcomes {
+		s += o.NormalizedService()
+	}
+	return s / float64(len(r.Outcomes))
+}
+
+// ViolationRate is the fraction of jobs whose service time exceeded their
+// delay tolerance.
+func (r *Result) ViolationRate() float64 {
+	if len(r.Outcomes) == 0 {
+		return 0
+	}
+	v := 0
+	for _, o := range r.Outcomes {
+		if o.Violated {
+			v++
+		}
+	}
+	return float64(v) / float64(len(r.Outcomes))
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Env *region.Environment
+	Net *transfer.Model
+	FP  *footprint.Model
+	// Tick is the scheduler invocation cadence (default 1 minute).
+	Tick time.Duration
+	// Tolerance is the delay tolerance fraction (e.g. 0.5 for 50%).
+	Tolerance float64
+	// MaxDrain bounds how long past the last arrival the simulator keeps
+	// ticking to flush queues (default 48h).
+	MaxDrain time.Duration
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Env == nil {
+		return c, fmt.Errorf("cluster: nil environment")
+	}
+	if c.Net == nil {
+		c.Net = transfer.New()
+	}
+	if c.FP == nil {
+		c.FP = footprint.NewModel(footprint.NoPerturbation)
+	}
+	if c.Tick <= 0 {
+		c.Tick = time.Minute
+	}
+	if c.Tolerance < 0 {
+		return c, fmt.Errorf("cluster: negative tolerance %g", c.Tolerance)
+	}
+	if c.MaxDrain <= 0 {
+		c.MaxDrain = 48 * time.Hour
+	}
+	return c, nil
+}
+
+// regionState models a region as a bank of servers, each with the time at
+// which it next becomes free — the standard machine model of cluster
+// simulators. Placements are O(servers); jobs that arrive at a full region
+// queue on the server that frees earliest, which is exactly the paper's
+// source of delay-tolerance violations.
+type regionState struct {
+	servers   int
+	busyUntil []time.Time // per-server next-free instant
+}
+
+func newRegionState(servers int) *regionState {
+	return &regionState{servers: servers, busyUntil: make([]time.Time, servers)}
+}
+
+// freeCount counts servers free at instant t.
+func (rs *regionState) freeCount(t time.Time) int {
+	n := 0
+	for _, b := range rs.busyUntil {
+		if !b.After(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// place reserves a server for an exec-long run starting no earlier than
+// want, and returns the actual start. Among servers already free at want it
+// picks the one that has been idle the shortest (best fit); if none is
+// free, the job queues on the earliest-freeing server.
+func (rs *regionState) place(want time.Time, exec time.Duration) time.Time {
+	best := -1
+	for i, b := range rs.busyUntil {
+		if b.After(want) {
+			continue
+		}
+		if best == -1 || b.After(rs.busyUntil[best]) {
+			best = i
+		}
+	}
+	start := want
+	if best == -1 {
+		for i := range rs.busyUntil {
+			if best == -1 || rs.busyUntil[i].Before(rs.busyUntil[best]) {
+				best = i
+			}
+		}
+		start = rs.busyUntil[best]
+	}
+	rs.busyUntil[best] = start.Add(exec)
+	return start
+}
+
+// Run plays the trace against the scheduler and returns the full result.
+// The trace must be sorted by submission time (generators guarantee this).
+func Run(cfg Config, sched Scheduler, jobs []*trace.Job) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(jobs); i++ {
+		if jobs[i].Submit.Before(jobs[i-1].Submit) {
+			return nil, fmt.Errorf("cluster: trace not sorted at job %d", jobs[i].ID)
+		}
+	}
+
+	env := cfg.Env
+	states := make(map[region.ID]*regionState, len(env.Regions))
+	for _, r := range env.Regions {
+		states[r.ID] = newRegionState(r.Servers)
+	}
+
+	res := &Result{Scheduler: sched.Name(), Tolerance: cfg.Tolerance}
+	var pending []*PendingJob
+	nextJob := 0
+	now := env.Start
+	var lastArrival time.Time
+	if len(jobs) > 0 {
+		lastArrival = jobs[len(jobs)-1].Submit
+	} else {
+		lastArrival = env.Start
+	}
+	deadline := lastArrival.Add(cfg.MaxDrain)
+
+	for {
+		// Ingest arrivals up to now.
+		for nextJob < len(jobs) && !jobs[nextJob].Submit.After(now) {
+			pending = append(pending, &PendingJob{Job: jobs[nextJob], FirstSeen: now})
+			nextJob++
+		}
+		if len(pending) > 0 {
+			free := make(map[region.ID]int, len(states))
+			busy := make(map[region.ID]int, len(states))
+			for id, rs := range states {
+				f := rs.freeCount(now)
+				free[id] = f
+				busy[id] = rs.servers - f
+			}
+			ctx := &Context{
+				Now: now, Jobs: pending, Free: free, Busy: busy,
+				Env: env, Net: cfg.Net, FP: cfg.FP, Tolerance: cfg.Tolerance,
+				FreeAt: func(id region.ID, start time.Time, exec time.Duration) int {
+					rs, ok := states[id]
+					if !ok {
+						return 0
+					}
+					return rs.freeCount(start)
+				},
+			}
+			t0 := time.Now()
+			decisions, err := sched.Schedule(ctx)
+			overhead := time.Since(t0)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: scheduler %s at %v: %w", sched.Name(), now, err)
+			}
+			decided, err := apply(cfg, states, now, pending, decisions, res)
+			if err != nil {
+				return nil, err
+			}
+			res.Ticks = append(res.Ticks, TickStat{At: now, Batch: len(pending), Decided: len(decided), Overhead: overhead})
+			pending = survivors(pending, decided)
+		}
+
+		if nextJob >= len(jobs) && len(pending) == 0 {
+			break
+		}
+		now = now.Add(cfg.Tick)
+		if now.After(deadline) {
+			for _, pj := range pending {
+				res.Unscheduled = append(res.Unscheduled, pj.Job)
+			}
+			break
+		}
+	}
+	sort.Slice(res.Outcomes, func(i, j int) bool { return res.Outcomes[i].Job.ID < res.Outcomes[j].Job.ID })
+	return res, nil
+}
+
+// apply commits decisions: reserves capacity, computes footprints, and
+// appends outcomes. It returns the set of decided job IDs.
+func apply(cfg Config, states map[region.ID]*regionState, now time.Time, pending []*PendingJob, decisions []Decision, res *Result) (map[int]bool, error) {
+	byID := make(map[int]*PendingJob, len(pending))
+	for _, pj := range pending {
+		byID[pj.Job.ID] = pj
+	}
+	decided := make(map[int]bool, len(decisions))
+	for _, d := range decisions {
+		pj, ok := byID[d.Job.ID]
+		if !ok || decided[d.Job.ID] {
+			return nil, fmt.Errorf("cluster: scheduler decided job %d which is not pending", d.Job.ID)
+		}
+		rs, ok := states[d.Region]
+		if !ok {
+			return nil, fmt.Errorf("cluster: scheduler sent job %d to unknown region %q", d.Job.ID, d.Region)
+		}
+		job := pj.Job
+
+		var pkgMB float64
+		if p, err := workload.Lookup(job.Benchmark); err == nil {
+			pkgMB = p.PackageMB
+		}
+		lat := cfg.Net.Latency(job.Home, d.Region, pkgMB)
+
+		start := now.Add(lat)
+		if d.StartAt.After(start) {
+			start = d.StartAt
+		}
+		exec := job.Duration
+		if d.DurationOverride > 0 {
+			exec = d.DurationOverride
+		}
+		energy := job.Energy
+		if d.EnergyOverride > 0 {
+			energy = d.EnergyOverride
+		}
+		start = rs.place(start, exec)
+		finish := start.Add(exec)
+
+		snap, ok := cfg.Env.Snapshot(d.Region, start)
+		if !ok {
+			return nil, fmt.Errorf("cluster: no snapshot for region %q", d.Region)
+		}
+		compute := cfg.FP.ForJob(snap, energy, exec)
+
+		var comm footprint.Footprint
+		if d.Region != job.Home {
+			commEnergy := cfg.Net.Energy(job.Home, d.Region, pkgMB)
+			// Attribute network energy to the destination grid conditions;
+			// transfer occupies no servers, so no embodied amortization.
+			comm = cfg.FP.ForJob(snap, commEnergy, 0)
+		}
+
+		allowed := time.Duration(float64(job.Duration) * (1 + cfg.Tolerance))
+		costUSD := 0.0
+		if reg := cfg.Env.Region(d.Region); reg != nil {
+			costUSD = reg.EnergyPriceUSD * float64(energy) * snap.PUE
+		}
+		out := JobOutcome{
+			Job: job, Region: d.Region, Start: start, Finish: finish,
+			Transfer: lat, Exec: exec, Compute: compute, Comm: comm,
+			CostUSD:  costUSD,
+			Violated: finish.Sub(job.Submit) > allowed,
+		}
+		res.Outcomes = append(res.Outcomes, out)
+		decided[job.ID] = true
+	}
+	return decided, nil
+}
+
+// survivors returns the pending jobs not decided this round, with their
+// deferral counters bumped.
+func survivors(pending []*PendingJob, decided map[int]bool) []*PendingJob {
+	out := pending[:0]
+	for _, pj := range pending {
+		if !decided[pj.Job.ID] {
+			pj.Deferrals++
+			out = append(out, pj)
+		}
+	}
+	return out
+}

@@ -1,0 +1,559 @@
+// Package core implements the WaterWise scheduler — the paper's primary
+// contribution: a carbon- and water-footprint co-optimizing job scheduler
+// for geographically distributed data centers (Section 4).
+//
+// Each scheduling round, the Optimization Decision Controller builds the
+// MILP of Eq. 8:
+//
+//	min Σ_m Σ_n x_mn · [ λ_CO2·CO2(m,n)/CO2max_m + λ_H2O·H2O(m,n)/H2Omax_m
+//	                     + λ_ref·(λ_CO2·CO2ref_n + λ_H2O·H2Oref_n) ]
+//
+// subject to Eq. 9 (each job placed exactly once), Eq. 10 (regional
+// capacity), and Eq. 11 (transfer latency within the delay tolerance:
+// Σ_n x_mn·L_mn/t_mn ≤ TOL%). When the hard problem is infeasible — or when
+// demand exceeds total capacity and the slack manager has pre-selected the
+// most urgent jobs (Algorithm 1) — the controller softens Eq. 11 with
+// penalty variables (Eq. 12–13).
+//
+// The history learner feeds each region's recent normalized carbon/water
+// intensity back into the objective (the CO2ref/H2Oref terms) so the
+// controller avoids regions that have recently been expensive even if the
+// instantaneous reading momentarily dips.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"waterwise/internal/cluster"
+	"waterwise/internal/lp"
+	"waterwise/internal/milp"
+	"waterwise/internal/region"
+	"waterwise/internal/trace"
+	"waterwise/internal/workload"
+)
+
+// Config parameterizes the WaterWise controller. The zero value is not
+// usable; construct with New which applies the paper's defaults.
+type Config struct {
+	// LambdaCarbon (λ_CO2) weights the carbon objective; paper default 0.5.
+	LambdaCarbon float64
+	// LambdaWater (λ_H2O) weights the water objective; paper default 0.5.
+	// LambdaCarbon + LambdaWater must equal 1.
+	LambdaWater float64
+	// LambdaRef (λ_ref) weights the history learner; paper default 0.1.
+	LambdaRef float64
+	// HistoryWindow is the history learner's window in scheduling rounds;
+	// paper default 10.
+	HistoryWindow int
+	// PenaltySigma (σ) prices delay-tolerance violations in the softened
+	// problem (Eq. 12).
+	PenaltySigma float64
+	// MaxBatch caps the number of jobs put into a single MILP; overflow
+	// jobs wait for the next round (most urgent first). Keeps the solver's
+	// decision overhead low under Alibaba-level arrival bursts.
+	MaxBatch int
+	// Solver bounds the branch-and-bound search.
+	Solver milp.Options
+
+	// PerfWeight (λ_perf) optionally adds performance as a third objective
+	// (paper §7 "Performance Considerations"): each pair's normalized
+	// service-time impact — transfer latency relative to the job's
+	// execution time — joins the objective with this weight. 0 disables it
+	// (the paper's evaluated configuration).
+	PerfWeight float64
+	// CostWeight (λ_cost) optionally adds financial cost as an objective
+	// (paper §7 "Cost Considerations"): each pair's electricity spend,
+	// normalized per job across regions. 0 disables it.
+	CostWeight float64
+
+	// DisableHistory turns off the history learner (ablation).
+	DisableHistory bool
+	// DisableSlackManager replaces urgency ordering with FIFO (ablation).
+	DisableSlackManager bool
+	// GreedyController replaces the MILP with per-job greedy argmin
+	// (ablation for the "why MILP" design question).
+	GreedyController bool
+}
+
+// DefaultConfig returns the paper's default parameters: equal carbon/water
+// weights, λ_ref = 0.1, window 10.
+func DefaultConfig() Config {
+	return Config{
+		LambdaCarbon:  0.5,
+		LambdaWater:   0.5,
+		LambdaRef:     0.1,
+		HistoryWindow: 10,
+		PenaltySigma:  10,
+		MaxBatch:      64,
+		Solver:        milp.Options{MaxNodes: 500, RelGap: 1e-4, TimeLimit: 250 * time.Millisecond},
+	}
+}
+
+// Scheduler is the WaterWise Optimization Decision Controller plus slack
+// manager and history learner. It implements cluster.Scheduler.
+type Scheduler struct {
+	cfg Config
+	// history learner ring buffers, per region: normalized carbon and
+	// water intensities of recent rounds.
+	histCarbon map[region.ID][]float64
+	histWater  map[region.ID][]float64
+	// Softened counts rounds where the soft controller was needed
+	// (exported for tests and the overhead study via Stats).
+	softened int
+	rounds   int
+}
+
+// New returns a WaterWise scheduler, validating and defaulting cfg.
+func New(cfg Config) (*Scheduler, error) {
+	def := DefaultConfig()
+	if cfg.LambdaCarbon == 0 && cfg.LambdaWater == 0 {
+		cfg.LambdaCarbon, cfg.LambdaWater = def.LambdaCarbon, def.LambdaWater
+	}
+	if math.Abs(cfg.LambdaCarbon+cfg.LambdaWater-1) > 1e-9 {
+		return nil, fmt.Errorf("core: λ_CO2 + λ_H2O = %g, must equal 1", cfg.LambdaCarbon+cfg.LambdaWater)
+	}
+	if cfg.LambdaCarbon < 0 || cfg.LambdaWater < 0 {
+		return nil, fmt.Errorf("core: negative objective weight")
+	}
+	if cfg.LambdaRef == 0 {
+		cfg.LambdaRef = def.LambdaRef
+	}
+	if cfg.HistoryWindow <= 0 {
+		cfg.HistoryWindow = def.HistoryWindow
+	}
+	if cfg.PenaltySigma <= 0 {
+		cfg.PenaltySigma = def.PenaltySigma
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = def.MaxBatch
+	}
+	if cfg.Solver.MaxNodes == 0 && cfg.Solver.TimeLimit == 0 {
+		cfg.Solver = def.Solver
+	}
+	return &Scheduler{
+		cfg:        cfg,
+		histCarbon: make(map[region.ID][]float64),
+		histWater:  make(map[region.ID][]float64),
+	}, nil
+}
+
+// Name implements cluster.Scheduler.
+func (s *Scheduler) Name() string { return "waterwise" }
+
+// Stats reports internal counters: total rounds and how many needed the
+// softened controller.
+func (s *Scheduler) Stats() (rounds, softened int) { return s.rounds, s.softened }
+
+// candidate carries the per-(job, region) scoring inputs for one round.
+type candidate struct {
+	carbon  float64 // absolute carbon estimate incl. transfer (g)
+	water   float64 // absolute water estimate incl. transfer (L)
+	ratio   float64 // L_mn / t_mn for Eq. 11
+	cost    float64 // electricity spend estimate (USD), for the §7 extension
+	latency time.Duration
+}
+
+// Schedule implements cluster.Scheduler: Algorithm 1 of the paper.
+func (s *Scheduler) Schedule(ctx *cluster.Context) ([]cluster.Decision, error) {
+	s.rounds++
+	ids := ctx.Env.IDs()
+	if len(ids) == 0 || len(ctx.Jobs) == 0 {
+		return nil, nil
+	}
+
+	caps := make([]int, len(ids))
+	totalCap := 0
+	for n, id := range ids {
+		caps[n] = ctx.Free[id]
+		totalCap += caps[n]
+	}
+
+	s.updateHistory(ctx, ids)
+
+	if totalCap == 0 {
+		return nil, nil // nothing can start; jobs keep waiting
+	}
+
+	// Slack manager (Algorithm 1, lines 5-7): when demand exceeds total
+	// capacity, keep only the most urgent Σcap jobs this round; the MILP
+	// batch is also capped to bound decision overhead.
+	jobs := ctx.Jobs
+	overloaded := len(jobs) > totalCap
+	limit := totalCap
+	if s.cfg.MaxBatch < limit {
+		limit = s.cfg.MaxBatch
+	}
+	if len(jobs) > limit {
+		if s.cfg.DisableSlackManager {
+			jobs = jobs[:limit] // FIFO truncation (ablation)
+		} else {
+			jobs = s.mostUrgent(ctx, jobs, limit)
+		}
+	}
+
+	cands := s.buildCandidates(ctx, ids, jobs)
+
+	if s.cfg.GreedyController {
+		return s.greedyAssign(ctx, ids, caps, jobs, cands), nil
+	}
+
+	// Hard controller first (Algorithm 1, lines 8-9); soften on demand
+	// overload or infeasibility (lines 5-7 and 10-11).
+	if !overloaded {
+		dec, feasible, err := s.solve(ctx, ids, caps, jobs, cands, false)
+		if err != nil {
+			return nil, err
+		}
+		if feasible {
+			return dec, nil
+		}
+	}
+	s.softened++
+	dec, feasible, err := s.solve(ctx, ids, caps, jobs, cands, true)
+	if err != nil {
+		return nil, err
+	}
+	if !feasible {
+		// Last resort: greedy keeps the cluster moving even if the solver
+		// hit its limits.
+		return s.greedyAssign(ctx, ids, caps, jobs, cands), nil
+	}
+	return dec, nil
+}
+
+// buildCandidates scores every (job, region) pair at the current instant,
+// using the controller's estimates (EstDuration/EstEnergy) — never the
+// ground-truth actuals.
+func (s *Scheduler) buildCandidates(ctx *cluster.Context, ids []region.ID, jobs []*cluster.PendingJob) [][]candidate {
+	cands := make([][]candidate, len(jobs))
+	for m, pj := range jobs {
+		job := pj.Job
+		pkg := jobPackageMB(job)
+		row := make([]candidate, len(ids))
+		for n, id := range ids {
+			lat := ctx.Net.Latency(job.Home, id, pkg)
+			start := ctx.Now.Add(lat)
+			snap, ok := ctx.Env.Snapshot(id, start)
+			if !ok {
+				row[n] = candidate{carbon: math.Inf(1), water: math.Inf(1), ratio: math.Inf(1)}
+				continue
+			}
+			fp := ctx.FP.ForJob(snap, job.EstEnergy, job.EstDuration)
+			carbon := float64(fp.Carbon())
+			water := float64(fp.Water())
+			if id != job.Home {
+				commFP := ctx.FP.ForJob(snap, ctx.Net.Energy(job.Home, id, pkg), 0)
+				carbon += float64(commFP.Carbon())
+				water += float64(commFP.Water())
+			}
+			ratio := 0.0
+			if job.EstDuration > 0 {
+				ratio = float64(lat) / float64(job.EstDuration)
+			}
+			usd := 0.0
+			if r := ctx.Env.Region(id); r != nil {
+				usd = r.EnergyPriceUSD * float64(job.EstEnergy) * snap.PUE
+			}
+			row[n] = candidate{carbon: carbon, water: water, ratio: ratio, cost: usd, latency: lat}
+		}
+		cands[m] = row
+	}
+	return cands
+}
+
+// objective computes the Eq. 8 cost coefficient of placing job m in region
+// index n.
+func (s *Scheduler) objective(ids []region.ID, cands [][]candidate, m, n int) float64 {
+	row := cands[m]
+	maxC, maxW := 0.0, 0.0
+	for _, c := range row {
+		if !math.IsInf(c.carbon, 1) && c.carbon > maxC {
+			maxC = c.carbon
+		}
+		if !math.IsInf(c.water, 1) && c.water > maxW {
+			maxW = c.water
+		}
+	}
+	if maxC == 0 {
+		maxC = 1
+	}
+	if maxW == 0 {
+		maxW = 1
+	}
+	c := row[n]
+	cost := s.cfg.LambdaCarbon*c.carbon/maxC + s.cfg.LambdaWater*c.water/maxW
+	if !s.cfg.DisableHistory {
+		cost += s.cfg.LambdaRef * (s.cfg.LambdaCarbon*s.refCarbon(ids[n]) + s.cfg.LambdaWater*s.refWater(ids[n]))
+	}
+	// §7 extensions: performance and financial-cost objectives, normalized
+	// like the carbon/water terms so no single objective dominates by unit.
+	if s.cfg.PerfWeight > 0 {
+		maxR := 0.0
+		for _, cc := range row {
+			if !math.IsInf(cc.ratio, 1) && cc.ratio > maxR {
+				maxR = cc.ratio
+			}
+		}
+		if maxR > 0 {
+			cost += s.cfg.PerfWeight * c.ratio / maxR
+		}
+	}
+	if s.cfg.CostWeight > 0 {
+		maxUSD := 0.0
+		for _, cc := range row {
+			if cc.cost > maxUSD {
+				maxUSD = cc.cost
+			}
+		}
+		if maxUSD > 0 {
+			cost += s.cfg.CostWeight * c.cost / maxUSD
+		}
+	}
+	return cost
+}
+
+// solve builds and solves the round's MILP (Eq. 8-13).
+//
+// The delay-tolerance constraint is encoded in its exact pair-wise
+// equivalent: because Eq. 9 forces exactly one x_mn to 1 per job, the row
+// Σ_n x_mn·L_mn/t_mn <= TOL holds iff the chosen pair's ratio is within the
+// job's remaining tolerance. So in hard mode, pairs with ratio > remaining
+// tolerance are forbidden (x_mn fixed to 0); in soft mode, the optimal
+// penalty variable of Eq. 12-13 evaluates to P_m = max(0, ratio - TOL) for
+// the chosen pair, so σ·max(0, ratio - TOL) folds into the pair's objective
+// coefficient. Both encodings are mathematically identical to the paper's
+// formulation and keep the relaxation a pure assignment polytope, which is
+// integral — branch and bound terminates at the root LP, keeping the
+// decision overhead of Fig. 13 low. It returns the decisions, whether a
+// usable solution was found, and any solver error.
+func (s *Scheduler) solve(ctx *cluster.Context, ids []region.ID, caps []int, jobs []*cluster.PendingJob, cands [][]candidate, soft bool) ([]cluster.Decision, bool, error) {
+	M, N := len(jobs), len(ids)
+	prob := milp.New(M * N)
+	obj := make([]float64, M*N)
+	for m := 0; m < M; m++ {
+		// Remaining tolerance: the budget shrinks by the time the job has
+		// already spent waiting in the queue.
+		rhs := ctx.Tolerance
+		if est := float64(jobs[m].Job.EstDuration); est > 0 {
+			rhs -= float64(ctx.Now.Sub(jobs[m].Job.Submit)) / est
+		}
+		if rhs < 0 {
+			rhs = 0
+		}
+		for n := 0; n < N; n++ {
+			v := m*N + n
+			// Eq. 9 (Σ_n x_mn = 1, x >= 0) implies x_mn <= 1, so the
+			// binaries need no explicit upper-bound rows.
+			if err := prob.SetImpliedBinary(v); err != nil {
+				return nil, false, err
+			}
+			cost := s.objective(ids, cands, m, n)
+			ratio := cands[m][n].ratio
+			switch {
+			case math.IsInf(cost, 1) || math.IsInf(ratio, 1):
+				// Unusable pair: forbid by fixing the binary to zero.
+				cost = 0
+				if err := prob.SetBounds(v, 0, 0); err != nil {
+					return nil, false, err
+				}
+			case ratio > rhs && !soft:
+				// Eq. 11 violated for this pair: forbidden in hard mode.
+				cost = 0
+				if err := prob.SetBounds(v, 0, 0); err != nil {
+					return nil, false, err
+				}
+			case ratio > rhs && soft:
+				// Eq. 12-13: violation priced at σ per unit of excess.
+				cost += s.cfg.PenaltySigma * (ratio - rhs)
+			}
+			obj[v] = cost
+		}
+	}
+	if err := prob.SetObjective(obj, lp.Minimize); err != nil {
+		return nil, false, err
+	}
+
+	// Eq. 9: each job assigned to exactly one region.
+	for m := 0; m < M; m++ {
+		terms := make([]lp.Term, N)
+		for n := 0; n < N; n++ {
+			terms[n] = lp.Term{Var: m*N + n, Coef: 1}
+		}
+		if _, err := prob.AddConstraint(terms, lp.EQ, 1); err != nil {
+			return nil, false, err
+		}
+	}
+	// Eq. 10: regional capacity.
+	for n := 0; n < N; n++ {
+		terms := make([]lp.Term, M)
+		for m := 0; m < M; m++ {
+			terms[m] = lp.Term{Var: m*N + n, Coef: 1}
+		}
+		if _, err := prob.AddConstraint(terms, lp.LE, float64(caps[n])); err != nil {
+			return nil, false, err
+		}
+	}
+
+	sol, err := prob.Solve(s.cfg.Solver)
+	if err != nil {
+		return nil, false, err
+	}
+	if sol.Status != milp.Optimal && sol.Status != milp.Feasible {
+		return nil, false, nil
+	}
+	dec := make([]cluster.Decision, 0, M)
+	for m := 0; m < M; m++ {
+		for n := 0; n < N; n++ {
+			if sol.X[m*N+n] > 0.5 {
+				dec = append(dec, cluster.Decision{Job: jobs[m].Job, Region: ids[n]})
+				break
+			}
+		}
+	}
+	return dec, true, nil
+}
+
+// greedyAssign is the ablation controller (and last-resort fallback): each
+// job takes its cheapest feasible region, respecting capacity counts.
+func (s *Scheduler) greedyAssign(ctx *cluster.Context, ids []region.ID, caps []int, jobs []*cluster.PendingJob, cands [][]candidate) []cluster.Decision {
+	left := append([]int(nil), caps...)
+	out := make([]cluster.Decision, 0, len(jobs))
+	for m, pj := range jobs {
+		best, bestCost := -1, math.Inf(1)
+		for n := range ids {
+			if left[n] <= 0 {
+				continue
+			}
+			if cands[m][n].ratio > ctx.Tolerance {
+				continue
+			}
+			if c := s.objective(ids, cands, m, n); c < bestCost {
+				bestCost = c
+				best = n
+			}
+		}
+		if best == -1 {
+			// Tolerance excludes everything with capacity: softened greedy
+			// falls back to the cheapest region with space.
+			for n := range ids {
+				if left[n] <= 0 {
+					continue
+				}
+				c := s.objective(ids, cands, m, n) + s.cfg.PenaltySigma*math.Max(0, cands[m][n].ratio-ctx.Tolerance)
+				if c < bestCost {
+					bestCost = c
+					best = n
+				}
+			}
+		}
+		if best == -1 {
+			continue // no capacity anywhere; job waits
+		}
+		left[best]--
+		out = append(out, cluster.Decision{Job: pj.Job, Region: ids[best]})
+	}
+	return out
+}
+
+// mostUrgent returns the limit jobs with the least remaining slack, per the
+// urgency score of Eq. 14:
+//
+//	Urgency_m = TOL%·t_m − L̄_m − (T_now − T_start_m)
+//
+// i.e. allowed extra service time, minus typical migration cost, minus time
+// already spent waiting. Ascending order = most urgent first.
+func (s *Scheduler) mostUrgent(ctx *cluster.Context, jobs []*cluster.PendingJob, limit int) []*cluster.PendingJob {
+	ids := ctx.Env.IDs()
+	type scored struct {
+		pj *cluster.PendingJob
+		u  float64
+	}
+	scoredJobs := make([]scored, len(jobs))
+	for i, pj := range jobs {
+		job := pj.Job
+		avgLat := ctx.Net.AvgLatency(job.Home, ids, jobPackageMB(job))
+		waited := ctx.Now.Sub(pj.FirstSeen)
+		u := ctx.Tolerance*float64(job.EstDuration) - float64(avgLat) - float64(waited)
+		scoredJobs[i] = scored{pj: pj, u: u}
+	}
+	sort.SliceStable(scoredJobs, func(i, j int) bool { return scoredJobs[i].u < scoredJobs[j].u })
+	out := make([]*cluster.PendingJob, 0, limit)
+	for i := 0; i < limit && i < len(scoredJobs); i++ {
+		out = append(out, scoredJobs[i].pj)
+	}
+	return out
+}
+
+// updateHistory records this round's normalized per-region carbon and water
+// intensities into the history learner window.
+func (s *Scheduler) updateHistory(ctx *cluster.Context, ids []region.ID) {
+	if s.cfg.DisableHistory {
+		return
+	}
+	carbons := make([]float64, len(ids))
+	waters := make([]float64, len(ids))
+	maxC, maxW := 0.0, 0.0
+	for i, id := range ids {
+		snap, ok := ctx.Env.Snapshot(id, ctx.Now)
+		if !ok {
+			continue
+		}
+		carbons[i] = float64(snap.CI)
+		waters[i] = float64(snap.WaterIntensity())
+		if carbons[i] > maxC {
+			maxC = carbons[i]
+		}
+		if waters[i] > maxW {
+			maxW = waters[i]
+		}
+	}
+	for i, id := range ids {
+		c, w := 0.0, 0.0
+		if maxC > 0 {
+			c = carbons[i] / maxC
+		}
+		if maxW > 0 {
+			w = waters[i] / maxW
+		}
+		s.histCarbon[id] = pushWindow(s.histCarbon[id], c, s.cfg.HistoryWindow)
+		s.histWater[id] = pushWindow(s.histWater[id], w, s.cfg.HistoryWindow)
+	}
+}
+
+// refCarbon is CO2ref_n: the windowed mean normalized carbon intensity.
+func (s *Scheduler) refCarbon(id region.ID) float64 { return meanOf(s.histCarbon[id]) }
+
+// refWater is H2Oref_n: the windowed mean normalized water intensity.
+func (s *Scheduler) refWater(id region.ID) float64 { return meanOf(s.histWater[id]) }
+
+func pushWindow(w []float64, v float64, size int) []float64 {
+	w = append(w, v)
+	if len(w) > size {
+		w = w[len(w)-size:]
+	}
+	return w
+}
+
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func jobPackageMB(j *trace.Job) float64 {
+	if p, err := workload.Lookup(j.Benchmark); err == nil {
+		return p.PackageMB
+	}
+	return 500
+}
+
+// Interface compliance check.
+var _ cluster.Scheduler = (*Scheduler)(nil)

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyScale keeps experiment smoke tests fast: a couple of simulated hours
+// is enough to execute every code path.
+func tinyScale() Scale {
+	return Scale{Days: 1, JobsPerDay: 600, DurationScale: 1, Seed: 3, Tick: time.Minute}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"ablate", "ext", "fig1", "fig10", "fig11", "fig12", "fig13",
+		"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9",
+		"sens", "tab2", "tab3",
+	}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, e := range all {
+		if e.ID != want[i] {
+			t.Errorf("registry[%d] = %s, want %s", i, e.ID, want[i])
+		}
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("fig5")
+	if err != nil || e.ID != "fig5" {
+		t.Fatalf("Lookup(fig5) = %v, %v", e.ID, err)
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+// TestEveryExperimentRuns smoke-runs every registered experiment at tiny
+// scale and checks the report renders.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration smoke of all experiments")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(tinyScale())
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if rep.ID != e.ID {
+				t.Errorf("report id %q != experiment id %q", rep.ID, e.ID)
+			}
+			out := rep.String()
+			if !strings.Contains(out, rep.Title) {
+				t.Errorf("%s: rendered report missing title", e.ID)
+			}
+			if len(rep.Tables) == 0 {
+				t.Errorf("%s: no tables", e.ID)
+			}
+			for _, tb := range rep.Tables {
+				if len(tb.Rows) == 0 {
+					t.Errorf("%s: empty table %q", e.ID, tb.Title)
+				}
+			}
+		})
+	}
+}
+
+func TestScenarioOptions(t *testing.T) {
+	sc, err := NewScenario(tinyScale(), WithRegions("zurich", "milan"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sc.Env.IDs()); got != 2 {
+		t.Errorf("region subset size = %d, want 2", got)
+	}
+	for _, j := range sc.Jobs {
+		if j.Home != "zurich" && j.Home != "milan" {
+			t.Fatalf("job home %s outside subset", j.Home)
+		}
+	}
+
+	half, err := NewScenario(tinyScale(), WithServerMultiplier(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range half.Env.Regions {
+		if r.Servers >= 35 {
+			t.Errorf("server multiplier not applied: %d servers", r.Servers)
+		}
+	}
+
+	doubled, err := NewScenario(tinyScale(), WithRateMultiplier(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := NewScenario(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(doubled.Jobs)) < 1.5*float64(len(base.Jobs)) {
+		t.Errorf("rate multiplier weak: %d vs %d jobs", len(doubled.Jobs), len(base.Jobs))
+	}
+
+	ali, err := NewScenario(tinyScale(), WithAlibabaTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(len(ali.Jobs)) < 5*float64(len(base.Jobs)) {
+		t.Errorf("alibaba trace should be ~8.5x: %d vs %d jobs", len(ali.Jobs), len(base.Jobs))
+	}
+	// Utilization preserved: total requested service time should be about
+	// equal despite the higher job count.
+	sum := func(sc *Scenario) float64 {
+		s := 0.0
+		for _, j := range sc.Jobs {
+			s += j.Duration.Minutes()
+		}
+		return s
+	}
+	if r := sum(ali) / sum(base); r < 0.6 || r > 1.6 {
+		t.Errorf("alibaba total work ratio = %.2f, want ~1 (duration rescale)", r)
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	s := (Scale{}).withDefaults()
+	if s.Days != 1 || s.JobsPerDay != 7000 || s.DurationScale != 1 || s.Tick != time.Minute {
+		t.Errorf("defaults = %+v", s)
+	}
+	p := Paper()
+	if p.Days != 10 || p.JobsPerDay != 23000 {
+		t.Errorf("paper scale = %+v, want 10 days x 23k jobs (the 230k-job Borg replay)", p)
+	}
+}

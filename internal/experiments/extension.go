@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"waterwise/internal/core"
+	"waterwise/internal/footprint"
+	"waterwise/internal/metrics"
+	"waterwise/internal/sched"
+)
+
+func init() {
+	register("ext", "§7 extensions: performance and cost as additional objectives", Extensions)
+}
+
+// Extensions exercises the paper's Discussion-section extensions: treating
+// performance (service-time impact) and financial cost (electricity spend)
+// as additional weighted objectives next to carbon and water. Expectations:
+// raising the performance weight pulls mean service time toward 1x; raising
+// the cost weight cuts electricity spend; both dilute — but should not
+// erase — the sustainability savings.
+func Extensions(s Scale) (*Report, error) {
+	sc, err := NewScenario(s)
+	if err != nil {
+		return nil, err
+	}
+	fp := footprint.NewModel(footprint.NoPerturbation)
+	base, err := sc.run(sched.NewBaseline(), 0.5, fp)
+	if err != nil {
+		return nil, err
+	}
+	baseCost := base.TotalCostUSD()
+	if baseCost <= 0 {
+		return nil, fmt.Errorf("ext: degenerate baseline cost")
+	}
+
+	t := &metrics.Table{
+		Title:  "WaterWise with performance/cost objectives, 50% delay tolerance",
+		Header: []string{"variant", "carbon saving", "water saving", "cost saving", "mean service"},
+	}
+	variants := []struct {
+		label      string
+		perf, cost float64
+	}{
+		{"paper objective (carbon+water)", 0, 0},
+		{"+ perf weight 0.25", 0.25, 0},
+		{"+ perf weight 1.0", 1.0, 0},
+		{"+ cost weight 0.25", 0, 0.25},
+		{"+ cost weight 1.0", 0, 1.0},
+		{"+ perf 0.5 + cost 0.5", 0.5, 0.5},
+	}
+	for _, v := range variants {
+		cfg := core.DefaultConfig()
+		cfg.PerfWeight = v.perf
+		cfg.CostWeight = v.cost
+		ww, err := waterwise(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sc.run(ww, 0.5, fp)
+		if err != nil {
+			return nil, err
+		}
+		sv, err := metrics.Compare(base, res)
+		if err != nil {
+			return nil, err
+		}
+		costSaving := 100 * (1 - res.TotalCostUSD()/baseCost)
+		t.AddRow(v.label, metrics.Pct(sv.CarbonPct), metrics.Pct(sv.WaterPct),
+			metrics.Pct(costSaving), metrics.Times(sv.MeanService))
+	}
+	return &Report{
+		ID: "ext", Title: "Performance and cost objectives (§7)",
+		Tables: []*metrics.Table{t},
+		Notes: []string{
+			"expected shape: higher perf weight lowers mean service toward 1x;",
+			"higher cost weight raises cost savings; sustainability savings dilute but persist",
+		},
+	}, nil
+}

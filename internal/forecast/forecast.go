@@ -1,0 +1,178 @@
+// Package forecast provides short-horizon predictors for regional carbon
+// and water intensity. The WaterWise paper's controller deliberately uses
+// only current readings ("the scheduler cannot have futuristic
+// information"), but a production deployment would want cheap forecasts for
+// look-ahead placement — and the greedy oracles need a *fair* feasible
+// counterpart to quantify how much of their advantage is pure clairvoyance.
+//
+// Two predictors are provided:
+//
+//   - Persistence: tomorrow looks like right now (the paper's implicit
+//     model);
+//   - SeasonalNaive: the value h hours ahead equals the value observed at
+//     the same time of day in the trailing window — capturing the strong
+//     diurnal structure of solar-heavy grids.
+//
+// Both are online: feed observations as they arrive, ask for predictions
+// at any horizon, and evaluate with mean absolute error.
+package forecast
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Predictor is an online time-series forecaster.
+type Predictor interface {
+	// Observe records a reading taken at t.
+	Observe(t time.Time, value float64)
+	// Predict estimates the value at target. It returns false when the
+	// predictor has not seen enough history.
+	Predict(target time.Time) (float64, bool)
+	// Name identifies the predictor in evaluations.
+	Name() string
+}
+
+// Persistence predicts the most recent observation, regardless of horizon.
+type Persistence struct {
+	last    float64
+	lastAt  time.Time
+	haveOne bool
+}
+
+// NewPersistence returns a persistence predictor.
+func NewPersistence() *Persistence { return &Persistence{} }
+
+// Name implements Predictor.
+func (*Persistence) Name() string { return "persistence" }
+
+// Observe implements Predictor.
+func (p *Persistence) Observe(t time.Time, v float64) {
+	if !p.haveOne || !t.Before(p.lastAt) {
+		p.last, p.lastAt, p.haveOne = v, t, true
+	}
+}
+
+// Predict implements Predictor.
+func (p *Persistence) Predict(time.Time) (float64, bool) {
+	return p.last, p.haveOne
+}
+
+// SeasonalNaive predicts the value observed at the same hour-of-day in the
+// trailing window, averaging the most recent Days occurrences of that hour
+// (Days >= 1). Within-hour observations are mean-pooled.
+type SeasonalNaive struct {
+	days  int
+	hours map[int64]*hourAgg // hour index since epoch -> aggregate
+	// fallback handles cold starts.
+	fallback *Persistence
+}
+
+type hourAgg struct {
+	sum float64
+	n   int
+}
+
+// NewSeasonalNaive returns a seasonal-naive predictor averaging the last
+// days occurrences of the target hour-of-day.
+func NewSeasonalNaive(days int) (*SeasonalNaive, error) {
+	if days < 1 {
+		return nil, fmt.Errorf("forecast: seasonal window must be >= 1 day, got %d", days)
+	}
+	return &SeasonalNaive{
+		days:     days,
+		hours:    make(map[int64]*hourAgg),
+		fallback: NewPersistence(),
+	}, nil
+}
+
+// Name implements Predictor.
+func (s *SeasonalNaive) Name() string { return "seasonal-naive" }
+
+func hourIndex(t time.Time) int64 { return t.Unix() / 3600 }
+
+// Observe implements Predictor.
+func (s *SeasonalNaive) Observe(t time.Time, v float64) {
+	h := hourIndex(t)
+	agg := s.hours[h]
+	if agg == nil {
+		agg = &hourAgg{}
+		s.hours[h] = agg
+		// Bound memory: drop hours older than the window needs.
+		horizon := int64((s.days + 2) * 24)
+		for k := range s.hours {
+			if h-k > horizon {
+				delete(s.hours, k)
+			}
+		}
+	}
+	agg.sum += v
+	agg.n++
+	s.fallback.Observe(t, v)
+}
+
+// Predict implements Predictor: the average of the same hour-of-day over
+// the trailing window, falling back to persistence when that hour was never
+// observed.
+func (s *SeasonalNaive) Predict(target time.Time) (float64, bool) {
+	h := hourIndex(target)
+	sum, n := 0.0, 0
+	for d := 1; d <= s.days; d++ {
+		if agg := s.hours[h-int64(d*24)]; agg != nil && agg.n > 0 {
+			sum += agg.sum / float64(agg.n)
+			n++
+		}
+	}
+	if n > 0 {
+		return sum / float64(n), true
+	}
+	// Same hour today (partial) is better than nothing.
+	if agg := s.hours[h]; agg != nil && agg.n > 0 {
+		return agg.sum / float64(agg.n), true
+	}
+	return s.fallback.Predict(target)
+}
+
+// Evaluation scores a predictor against a realized series.
+type Evaluation struct {
+	Predictor string
+	Horizon   time.Duration
+	MAE       float64
+	// Coverage is the fraction of test points the predictor could answer.
+	Coverage float64
+}
+
+// Evaluate replays an hourly series through the predictor, asking at each
+// step for a prediction horizon ahead and scoring it against the realized
+// value. The first warmup points are observed without scoring.
+func Evaluate(p Predictor, start time.Time, series []float64, horizon time.Duration, warmup int) (Evaluation, error) {
+	if horizon < 0 {
+		return Evaluation{}, fmt.Errorf("forecast: negative horizon %v", horizon)
+	}
+	if warmup < 0 || warmup >= len(series) {
+		return Evaluation{}, fmt.Errorf("forecast: warmup %d out of range for %d points", warmup, len(series))
+	}
+	steps := int(horizon / time.Hour)
+	var absErr float64
+	answered, asked := 0, 0
+	for i, v := range series {
+		t := start.Add(time.Duration(i) * time.Hour)
+		if i >= warmup && i+steps < len(series) {
+			asked++
+			if pred, ok := p.Predict(t.Add(horizon)); ok {
+				absErr += math.Abs(pred - series[i+steps])
+				answered++
+			}
+		}
+		p.Observe(t, v)
+	}
+	ev := Evaluation{Predictor: p.Name(), Horizon: horizon}
+	if answered > 0 {
+		ev.MAE = absErr / float64(answered)
+	}
+	if asked > 0 {
+		ev.Coverage = float64(answered) / float64(asked)
+	}
+	return ev, nil
+}

@@ -1,0 +1,178 @@
+package forecast
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"waterwise/internal/energy"
+	"waterwise/internal/region"
+)
+
+var t0 = time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func TestPersistence(t *testing.T) {
+	p := NewPersistence()
+	if _, ok := p.Predict(t0); ok {
+		t.Error("cold persistence should not predict")
+	}
+	p.Observe(t0, 10)
+	v, ok := p.Predict(t0.Add(5 * time.Hour))
+	if !ok || v != 10 {
+		t.Errorf("Predict = %g, %v; want 10", v, ok)
+	}
+	p.Observe(t0.Add(time.Hour), 20)
+	if v, _ := p.Predict(t0.Add(10 * time.Hour)); v != 20 {
+		t.Errorf("persistence should track the latest value, got %g", v)
+	}
+	// Out-of-order observations do not regress the state.
+	p.Observe(t0, 5)
+	if v, _ := p.Predict(t0); v != 20 {
+		t.Errorf("stale observation overwrote the latest value: %g", v)
+	}
+}
+
+func TestSeasonalNaiveValidation(t *testing.T) {
+	if _, err := NewSeasonalNaive(0); err == nil {
+		t.Error("zero-day window accepted")
+	}
+}
+
+func TestSeasonalNaiveLearnsDiurnalCycle(t *testing.T) {
+	s, err := NewSeasonalNaive(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly periodic signal: value == hour of day.
+	for h := 0; h < 24*4; h++ {
+		at := t0.Add(time.Duration(h) * time.Hour)
+		s.Observe(at, float64(at.Hour()))
+	}
+	for _, hour := range []int{0, 6, 12, 18} {
+		target := t0.Add(time.Duration(24*4+hour) * time.Hour)
+		v, ok := s.Predict(target)
+		if !ok {
+			t.Fatalf("no prediction for hour %d", hour)
+		}
+		if math.Abs(v-float64(hour)) > 1e-9 {
+			t.Errorf("predicted %g for hour %d, want %d", v, hour, hour)
+		}
+	}
+}
+
+func TestSeasonalNaiveFallsBackWhenCold(t *testing.T) {
+	s, err := NewSeasonalNaive(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(t0, 42)
+	// Target hour never observed on previous days: falls back.
+	v, ok := s.Predict(t0.Add(7 * time.Hour))
+	if !ok || v != 42 {
+		t.Errorf("cold fallback = %g, %v; want persistence 42", v, ok)
+	}
+}
+
+func TestSeasonalBeatsPersistenceOnGridCI(t *testing.T) {
+	// On a real synthetic grid with strong solar diurnality, the seasonal
+	// predictor must beat persistence at a 6-hour horizon.
+	env, err := region.NewEnvironment(region.Defaults(), energy.Table, t0, 24*14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var series []float64
+	for h := 0; h < 24*14; h++ {
+		snap, _ := env.Snapshot(region.Madrid, t0.Add(time.Duration(h)*time.Hour))
+		series = append(series, float64(snap.CI))
+	}
+	pers, err := Evaluate(NewPersistence(), t0, series, 6*time.Hour, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sn, err := NewSeasonalNaive(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seas, err := Evaluate(sn, t0, series, 6*time.Hour, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seas.Coverage < 0.95 || pers.Coverage < 0.95 {
+		t.Fatalf("low coverage: seasonal %.2f persistence %.2f", seas.Coverage, pers.Coverage)
+	}
+	if seas.MAE >= pers.MAE {
+		t.Errorf("seasonal MAE %.1f should beat persistence MAE %.1f on a solar-heavy grid at 6h",
+			seas.MAE, pers.MAE)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	if _, err := Evaluate(NewPersistence(), t0, []float64{1, 2}, -time.Hour, 0); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	if _, err := Evaluate(NewPersistence(), t0, []float64{1, 2}, time.Hour, 5); err == nil {
+		t.Error("out-of-range warmup accepted")
+	}
+}
+
+func TestEvaluatePerfectPredictor(t *testing.T) {
+	// On a constant series every sane predictor has MAE 0 at any horizon
+	// (predictions are asked before the step's observation arrives).
+	series := []float64{7, 7, 7, 7, 7, 7, 7, 7}
+	ev, err := Evaluate(NewPersistence(), t0, series, 2*time.Hour, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.MAE > 1e-9 {
+		t.Errorf("constant-series MAE = %g, want 0", ev.MAE)
+	}
+	if ev.Coverage < 1 {
+		t.Errorf("coverage = %g, want 1 after warmup", ev.Coverage)
+	}
+}
+
+// Property: seasonal-naive predictions always lie within the observed value
+// range (it only averages past observations).
+func TestQuickSeasonalWithinRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := seedRand(seed)
+		s, err := NewSeasonalNaive(2)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for h := 0; h < 24*3; h++ {
+			v := 100 + 50*rng()
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+			s.Observe(t0.Add(time.Duration(h)*time.Hour), v)
+		}
+		for h := 24 * 3; h < 24*4; h++ {
+			v, ok := s.Predict(t0.Add(time.Duration(h) * time.Hour))
+			if !ok {
+				return false
+			}
+			if v < lo-1e-9 || v > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// seedRand is a tiny deterministic uniform-[0,1) generator.
+func seedRand(seed int64) func() float64 {
+	state := uint64(seed)*6364136223846793005 + 1442695040888963407
+	return func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / float64(1<<53)
+	}
+}

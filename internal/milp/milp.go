@@ -1,0 +1,372 @@
+// Package milp implements a mixed-integer linear programming solver via
+// best-first branch and bound over the LP relaxations provided by
+// internal/lp. Together the two packages replace the PuLP + GLPK stack the
+// WaterWise paper uses for its Optimization Decision Controller.
+//
+// The solver supports binary and general-integer variables mixed with
+// continuous ones (the soft-constraint penalty variables of Eq. 12–13 are
+// continuous), node/gap/time limits, and returns the best incumbent found
+// with a bound-based optimality certificate when search completes.
+package milp
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"waterwise/internal/lp"
+)
+
+// Status reports the outcome of a MILP solve.
+type Status int
+
+const (
+	// Optimal means an integer-feasible solution with a closed gap.
+	Optimal Status = iota
+	// Feasible means an incumbent was found but search stopped early
+	// (node, gap, or time limit).
+	Feasible
+	// Infeasible means no integer-feasible solution exists.
+	Infeasible
+	// Unbounded means the relaxation is unbounded below.
+	Unbounded
+	// Limit means a limit was hit before any incumbent was found.
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	}
+	return "unknown"
+}
+
+// Options bound the branch-and-bound search.
+type Options struct {
+	// MaxNodes limits explored nodes; 0 means the default (100000).
+	MaxNodes int
+	// RelGap terminates when (incumbent-bound)/max(|incumbent|,1) falls
+	// below this value; 0 means prove exact optimality (within tolerance).
+	RelGap float64
+	// TimeLimit caps wall-clock search time; 0 means no limit.
+	TimeLimit time.Duration
+	// IntTol is the integrality tolerance; 0 means the default 1e-6.
+	IntTol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 100000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Solution is the result of a MILP solve.
+type Solution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+	Nodes     int           // branch-and-bound nodes explored
+	Gap       float64       // final relative optimality gap
+	Runtime   time.Duration // wall-clock solve time
+}
+
+// Problem is a MILP under construction. The zero value is not usable; call
+// New.
+type Problem struct {
+	base   *lp.Problem
+	isInt  []bool
+	lo, hi []float64 // mirror of the base bounds, needed when branching
+	sense  lp.Sense
+}
+
+// New returns a MILP with nvars variables, all continuous with bounds
+// [0, +inf).
+func New(nvars int) *Problem {
+	p := &Problem{
+		base:  lp.New(nvars),
+		isInt: make([]bool, nvars),
+		lo:    make([]float64, nvars),
+		hi:    make([]float64, nvars),
+	}
+	for i := range p.hi {
+		p.hi[i] = math.Inf(1)
+	}
+	return p
+}
+
+// NumVars returns the number of decision variables.
+func (p *Problem) NumVars() int { return p.base.NumVars() }
+
+// SetObjective sets the objective vector and direction.
+func (p *Problem) SetObjective(c []float64, sense lp.Sense) error {
+	p.sense = sense
+	return p.base.SetObjective(c, sense)
+}
+
+// SetBounds sets the bounds of variable i.
+func (p *Problem) SetBounds(i int, lo, hi float64) error {
+	if err := p.base.SetBounds(i, lo, hi); err != nil {
+		return err
+	}
+	p.lo[i], p.hi[i] = lo, hi
+	return nil
+}
+
+// SetBinary marks variable i as binary (integer in {0,1}).
+func (p *Problem) SetBinary(i int) error {
+	if err := p.SetBounds(i, 0, 1); err != nil {
+		return err
+	}
+	p.isInt[i] = true
+	return nil
+}
+
+// SetImpliedBinary marks variable i as integer WITHOUT installing the
+// explicit [0,1] bound. Use it when the constraint matrix already implies
+// x_i <= 1 (e.g. an assignment row Σ_j x_ij = 1 with x >= 0): the solver
+// then skips one upper-bound row per variable, which for WaterWise's
+// M x N assignment MILPs shrinks the simplex tableau by more than half.
+// The caller is responsible for the implication actually holding.
+func (p *Problem) SetImpliedBinary(i int) error {
+	if i < 0 || i >= len(p.isInt) {
+		return fmt.Errorf("milp: variable %d out of range [0,%d)", i, len(p.isInt))
+	}
+	p.isInt[i] = true
+	return nil
+}
+
+// SetInteger marks variable i as a general integer (bounds must be set
+// separately; the default lower bound is 0).
+func (p *Problem) SetInteger(i int) error {
+	if i < 0 || i >= len(p.isInt) {
+		return fmt.Errorf("milp: variable %d out of range [0,%d)", i, len(p.isInt))
+	}
+	p.isInt[i] = true
+	return nil
+}
+
+// AddConstraint appends a sparse linear constraint.
+func (p *Problem) AddConstraint(terms []lp.Term, op lp.Op, rhs float64) (int, error) {
+	return p.base.AddConstraint(terms, op, rhs)
+}
+
+// node is a branch-and-bound search node: the parent relaxation plus extra
+// variable bounds, keyed by its LP bound for best-first expansion.
+type node struct {
+	bounds []boundFix
+	bound  float64 // LP relaxation objective (minimization space)
+}
+
+type boundFix struct {
+	v      int
+	lo, hi float64
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].bound < h[j].bound }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solve runs branch and bound and returns the best solution found.
+func (p *Problem) Solve(opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+
+	// Bound comparisons happen in minimization space: lp.Solve reports
+	// objectives in the caller's sense, so for Maximize we negate objectives
+	// on the way in and flip the incumbent back on the way out.
+	minProb := p.base
+	sgn := 1.0
+	if p.sense == lp.Maximize {
+		sgn = -1.0
+	}
+	// relaxObj converts an lp Solution objective into minimization space.
+	relaxObj := func(v float64) float64 { return sgn * v }
+
+	solveNode := func(n *node) (*lp.Solution, error) {
+		q := minProb
+		if len(n.bounds) > 0 {
+			q = minProb.Clone()
+			for _, bf := range n.bounds {
+				if err := q.SetBounds(bf.v, bf.lo, bf.hi); err != nil {
+					return &lp.Solution{Status: lp.Infeasible}, nil
+				}
+			}
+		}
+		return q.Solve()
+	}
+
+	root := &node{}
+	rootSol, err := solveNode(root)
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Nodes: 1, Gap: math.Inf(1)}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		sol.Status = Infeasible
+		sol.Runtime = time.Since(start)
+		return sol, nil
+	case lp.Unbounded:
+		sol.Status = Unbounded
+		sol.Runtime = time.Since(start)
+		return sol, nil
+	case lp.IterLimit:
+		sol.Status = Limit
+		sol.Runtime = time.Since(start)
+		return sol, nil
+	}
+	root.bound = relaxObj(rootSol.Objective)
+
+	var (
+		incumbent    []float64
+		incumbentObj = math.Inf(1)
+	)
+	consider := func(x []float64, obj float64) {
+		if obj < incumbentObj-1e-12 {
+			incumbentObj = obj
+			incumbent = append(incumbent[:0], x...)
+		}
+	}
+
+	frac := func(x []float64) (int, float64) {
+		bestV, bestDist := -1, -1.0
+		for i, isI := range p.isInt {
+			if !isI {
+				continue
+			}
+			f := x[i] - math.Floor(x[i])
+			d := math.Min(f, 1-f)
+			if d > opts.IntTol && d > bestDist {
+				bestDist = d
+				bestV = i
+			}
+		}
+		return bestV, bestDist
+	}
+
+	open := &nodeHeap{}
+	heap.Init(open)
+	if v, _ := frac(rootSol.X); v == -1 {
+		consider(rootSol.X, root.bound)
+	} else {
+		heap.Push(open, root)
+	}
+
+	nodes := 1
+	bestBound := root.bound
+	for open.Len() > 0 {
+		if nodes >= opts.MaxNodes {
+			break
+		}
+		if opts.TimeLimit > 0 && time.Since(start) > opts.TimeLimit {
+			break
+		}
+		n := heap.Pop(open).(*node)
+		bestBound = n.bound
+		if n.bound >= incumbentObj-1e-9 {
+			// Best-first: every remaining node is at least this bad.
+			bestBound = incumbentObj
+			open = &nodeHeap{}
+			break
+		}
+		if incumbentObj < math.Inf(1) {
+			gap := (incumbentObj - n.bound) / math.Max(math.Abs(incumbentObj), 1)
+			if gap <= opts.RelGap {
+				break
+			}
+		}
+		nSol, err := solveNode(n)
+		if err != nil {
+			return nil, err
+		}
+		nodes++
+		if nSol.Status != lp.Optimal {
+			continue
+		}
+		obj := relaxObj(nSol.Objective)
+		if obj >= incumbentObj-1e-9 {
+			continue
+		}
+		v, _ := frac(nSol.X)
+		if v == -1 {
+			consider(nSol.X, obj)
+			continue
+		}
+		lo := math.Floor(nSol.X[v])
+		left := &node{bounds: append(append([]boundFix(nil), n.bounds...), boundFix{v, p.varLower(n, v), lo}), bound: obj}
+		right := &node{bounds: append(append([]boundFix(nil), n.bounds...), boundFix{v, lo + 1, p.varUpper(n, v)}), bound: obj}
+		heap.Push(open, left)
+		heap.Push(open, right)
+	}
+
+	sol.Nodes = nodes
+	sol.Runtime = time.Since(start)
+	if incumbent == nil {
+		if open.Len() == 0 {
+			sol.Status = Infeasible
+		} else {
+			sol.Status = Limit
+		}
+		return sol, nil
+	}
+	sol.X = incumbent
+	sol.Objective = sgn * incumbentObj // back to the caller's sense
+	if open.Len() == 0 {
+		sol.Status = Optimal
+		sol.Gap = 0
+	} else {
+		sol.Status = Feasible
+		sol.Gap = (incumbentObj - bestBound) / math.Max(math.Abs(incumbentObj), 1)
+		if sol.Gap <= opts.RelGap {
+			sol.Status = Optimal
+		}
+	}
+	return sol, nil
+}
+
+// varLower returns the tightest lower bound in effect for v at node n:
+// the base-problem bound tightened by any branching fixes on the path.
+func (p *Problem) varLower(n *node, v int) float64 {
+	lo := p.lo[v]
+	for _, bf := range n.bounds {
+		if bf.v == v && bf.lo > lo {
+			lo = bf.lo
+		}
+	}
+	return lo
+}
+
+// varUpper returns the tightest upper bound in effect for v at node n.
+func (p *Problem) varUpper(n *node, v int) float64 {
+	hi := p.hi[v]
+	for _, bf := range n.bounds {
+		if bf.v == v && bf.hi < hi {
+			hi = bf.hi
+		}
+	}
+	return hi
+}

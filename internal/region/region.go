@@ -1,0 +1,268 @@
+// Package region defines the geographically distributed data center regions
+// WaterWise schedules across, and the Environment that binds each region to
+// its synthetic grid-mix and weather series.
+//
+// The five default regions mirror the paper's AWS deployment — Zurich
+// (eu-central-2), Madrid (eu-south-2), Oregon (us-west-2), Milan
+// (eu-south-1), Mumbai (ap-south-1) — with grid mixes, climates, and water
+// scarcity factors calibrated so the regional averages reproduce the
+// orderings of Fig. 2: carbon intensity ascending Zurich < Madrid < Oregon <
+// Milan < Mumbai, Zurich's grid the most water-intensive (hydro+biomass
+// heavy), Mumbai's the least (coal heavy), Mumbai's climate the thirstiest
+// for cooling, and Madrid/Mumbai the most water-scarce.
+package region
+
+import (
+	"fmt"
+	"time"
+
+	"waterwise/internal/energy"
+	"waterwise/internal/gridmix"
+	"waterwise/internal/units"
+	"waterwise/internal/weather"
+)
+
+// ID identifies a region, e.g. "zurich".
+type ID string
+
+// The five regions of the paper's evaluation.
+const (
+	Zurich ID = "zurich"
+	Madrid ID = "madrid"
+	Oregon ID = "oregon"
+	Milan  ID = "milan"
+	Mumbai ID = "mumbai"
+)
+
+// Region is a data center region's static description.
+type Region struct {
+	// ID is the region's unique identifier.
+	ID ID
+	// Name is the human-readable location.
+	Name string
+	// AWSZone is the corresponding AWS region of the paper's testbed.
+	AWSZone string
+	// WSF is the water scarcity factor: freshwater demand relative to
+	// availability; higher means a liter of water is more precious here.
+	WSF float64
+	// PUE is the power usage effectiveness of the region's data center.
+	PUE float64
+	// Servers is the number of servers available in this region.
+	Servers int
+	// EnergyPriceUSD is the industrial electricity price (USD/kWh), used
+	// only by the optional cost-objective extension (paper §7).
+	EnergyPriceUSD float64
+	// Grid describes the regional electricity mix dynamics.
+	Grid gridmix.Params
+	// Climate describes the regional wet-bulb temperature dynamics.
+	Climate weather.Params
+}
+
+// DefaultServersPerRegion matches the paper's 175-node/5-region testbed.
+const DefaultServersPerRegion = 35
+
+// DefaultPUE is the power usage effectiveness used throughout the paper.
+const DefaultPUE = 1.2
+
+// Defaults returns fresh copies of the five paper regions.
+func Defaults() []*Region {
+	return []*Region{
+		{
+			ID: Zurich, Name: "Zurich, Switzerland", AWSZone: "eu-central-2",
+			WSF: 0.03, PUE: DefaultPUE, Servers: DefaultServersPerRegion, EnergyPriceUSD: 0.16,
+			Grid: gridmix.Params{
+				Base: energy.Mix{
+					energy.Hydro: 0.22, energy.Nuclear: 0.45, energy.Solar: 0.08,
+					energy.Wind: 0.06, energy.Biomass: 0.05, energy.Gas: 0.14,
+				},
+				Dispatchable:    []energy.Source{energy.Hydro, energy.Gas},
+				WindVariability: 0.45, WindPersistence: 0.85, ShareNoise: 0.05,
+			},
+			Climate: weather.Params{AnnualMean: 7.5, SeasonalAmp: 7.0, DiurnalAmp: 2.5, Noise: 1.2},
+		},
+		{
+			ID: Madrid, Name: "Madrid, Spain", AWSZone: "eu-south-2",
+			WSF: 0.90, PUE: DefaultPUE, Servers: DefaultServersPerRegion, EnergyPriceUSD: 0.12,
+			Grid: gridmix.Params{
+				Base: energy.Mix{
+					energy.Solar: 0.25, energy.Wind: 0.20, energy.Nuclear: 0.20,
+					energy.Hydro: 0.08, energy.Gas: 0.22, energy.Coal: 0.05,
+				},
+				Dispatchable:    []energy.Source{energy.Gas, energy.Hydro, energy.Coal},
+				WindVariability: 0.50, WindPersistence: 0.88, ShareNoise: 0.05,
+			},
+			Climate: weather.Params{AnnualMean: 16.0, SeasonalAmp: 9.0, DiurnalAmp: 3.5, Noise: 1.0},
+		},
+		{
+			ID: Oregon, Name: "Oregon, USA", AWSZone: "us-west-2",
+			WSF: 0.52, PUE: DefaultPUE, Servers: DefaultServersPerRegion, EnergyPriceUSD: 0.07,
+			Grid: gridmix.Params{
+				Base: energy.Mix{
+					energy.Hydro: 0.12, energy.Wind: 0.18, energy.Gas: 0.45,
+					energy.Solar: 0.07, energy.Nuclear: 0.08, energy.Coal: 0.10,
+				},
+				Dispatchable:    []energy.Source{energy.Gas, energy.Hydro, energy.Coal},
+				WindVariability: 0.55, WindPersistence: 0.90, ShareNoise: 0.05,
+			},
+			Climate: weather.Params{AnnualMean: 8.5, SeasonalAmp: 6.5, DiurnalAmp: 3.0, Noise: 1.1},
+		},
+		{
+			ID: Milan, Name: "Milan, Italy", AWSZone: "eu-south-1",
+			WSF: 0.31, PUE: DefaultPUE, Servers: DefaultServersPerRegion, EnergyPriceUSD: 0.19,
+			Grid: gridmix.Params{
+				Base: energy.Mix{
+					energy.Gas: 0.58, energy.Hydro: 0.08, energy.Solar: 0.10,
+					energy.Wind: 0.05, energy.Oil: 0.05, energy.Coal: 0.09,
+					energy.Nuclear: 0.05,
+				},
+				Dispatchable:    []energy.Source{energy.Gas, energy.Hydro},
+				WindVariability: 0.40, WindPersistence: 0.85, ShareNoise: 0.05,
+			},
+			Climate: weather.Params{AnnualMean: 12.5, SeasonalAmp: 8.5, DiurnalAmp: 3.0, Noise: 1.1},
+		},
+		{
+			ID: Mumbai, Name: "Mumbai, India", AWSZone: "ap-south-1",
+			WSF: 0.80, PUE: DefaultPUE, Servers: DefaultServersPerRegion, EnergyPriceUSD: 0.09,
+			Grid: gridmix.Params{
+				Base: energy.Mix{
+					energy.Coal: 0.60, energy.Gas: 0.15, energy.Oil: 0.05,
+					energy.Solar: 0.11, energy.Wind: 0.07, energy.Hydro: 0.02,
+				},
+				Dispatchable:    []energy.Source{energy.Coal, energy.Gas},
+				WindVariability: 0.40, WindPersistence: 0.85, ShareNoise: 0.05,
+			},
+			Climate: weather.Params{AnnualMean: 25.0, SeasonalAmp: 3.0, DiurnalAmp: 2.0, Noise: 0.8},
+		},
+	}
+}
+
+// DefaultsSubset returns fresh copies of the named regions, in the given
+// order, erroring on unknown IDs. Used by the Fig. 12 region-availability
+// study.
+func DefaultsSubset(ids ...ID) ([]*Region, error) {
+	byID := make(map[ID]*Region)
+	for _, r := range Defaults() {
+		byID[r.ID] = r
+	}
+	out := make([]*Region, 0, len(ids))
+	for _, id := range ids {
+		r, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("region: unknown region %q", id)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Snapshot captures every sustainability factor of one region at one
+// instant; it is what the scheduler (and footprint model) read.
+type Snapshot struct {
+	Region ID
+	Time   time.Time
+	CI     units.CarbonIntensity
+	EWIF   units.EWIF
+	WUE    units.WUE
+	WSF    float64
+	PUE    float64
+}
+
+// WaterIntensity computes the paper's Eq. 6:
+//
+//	H2O_intensity = (WUE + PUE*EWIF) * (1 + WSF)   [L/kWh]
+func (s Snapshot) WaterIntensity() units.WaterIntensity {
+	return units.WaterIntensity((float64(s.WUE) + s.PUE*float64(s.EWIF)) * (1 + s.WSF))
+}
+
+// Environment binds regions to their generated grid-mix and weather series
+// under one factor table. All schedulers and the footprint accounting read
+// region conditions through an Environment.
+type Environment struct {
+	Regions []*Region
+	Table   energy.FactorTable
+	Start   time.Time
+	Hours   int
+
+	byID map[ID]*Region
+	grid map[ID]*gridmix.Series
+	wx   map[ID]*weather.Series
+}
+
+// NewEnvironment generates the per-region series covering [start,
+// start+hours) deterministically from seed.
+func NewEnvironment(regions []*Region, tbl energy.FactorTable, start time.Time, hours int, seed int64) (*Environment, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("region: environment needs at least one region")
+	}
+	if hours <= 0 {
+		return nil, fmt.Errorf("region: environment needs a positive horizon, got %d hours", hours)
+	}
+	env := &Environment{
+		Regions: regions,
+		Table:   tbl,
+		Start:   start,
+		Hours:   hours,
+		byID:    make(map[ID]*Region, len(regions)),
+		grid:    make(map[ID]*gridmix.Series, len(regions)),
+		wx:      make(map[ID]*weather.Series, len(regions)),
+	}
+	for i, r := range regions {
+		if _, dup := env.byID[r.ID]; dup {
+			return nil, fmt.Errorf("region: duplicate region %q", r.ID)
+		}
+		env.byID[r.ID] = r
+		gs, err := gridmix.Generate(r.Grid, start, hours, seed+int64(i)*7919)
+		if err != nil {
+			return nil, fmt.Errorf("region %q: %w", r.ID, err)
+		}
+		env.grid[r.ID] = gs
+		env.wx[r.ID] = weather.Generate(r.Climate, start, hours, seed+int64(i)*104729+1)
+	}
+	return env, nil
+}
+
+// Region returns the static region description for id, or nil if unknown.
+func (e *Environment) Region(id ID) *Region { return e.byID[id] }
+
+// IDs returns the region IDs in registry order.
+func (e *Environment) IDs() []ID {
+	out := make([]ID, len(e.Regions))
+	for i, r := range e.Regions {
+		out[i] = r.ID
+	}
+	return out
+}
+
+// Snapshot returns the full sustainability snapshot for region id at time t.
+// The boolean is false if the region is unknown.
+func (e *Environment) Snapshot(id ID, t time.Time) (Snapshot, bool) {
+	r, ok := e.byID[id]
+	if !ok {
+		return Snapshot{}, false
+	}
+	gs := e.grid[id]
+	return Snapshot{
+		Region: id,
+		Time:   t,
+		CI:     gs.CarbonIntensityAt(t, e.Table),
+		EWIF:   gs.EWIFAt(t, e.Table),
+		WUE:    e.wx[id].WUEAt(t),
+		WSF:    r.WSF,
+		PUE:    r.PUE,
+	}, true
+}
+
+// MixAt exposes the raw energy mix for region id at time t (used by the
+// Ecovisor comparator, which reacts to the solar share).
+func (e *Environment) MixAt(id ID, t time.Time) energy.Mix {
+	gs, ok := e.grid[id]
+	if !ok {
+		return energy.Mix{}
+	}
+	return gs.MixAt(t)
+}
+
+// End returns the first instant past the generated horizon.
+func (e *Environment) End() time.Time {
+	return e.Start.Add(time.Duration(e.Hours) * time.Hour)
+}

@@ -1,0 +1,229 @@
+package region
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"waterwise/internal/energy"
+	"waterwise/internal/units"
+)
+
+var testStart = time.Date(2023, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func yearEnv(t *testing.T) *Environment {
+	t.Helper()
+	env, err := NewEnvironment(Defaults(), energy.Table, testStart, 365*24, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// yearlyAverages samples each region's snapshot every 6 hours for a year.
+func yearlyAverages(t *testing.T, env *Environment) map[ID]Snapshot {
+	t.Helper()
+	out := make(map[ID]Snapshot)
+	for _, r := range env.Regions {
+		var ci, ew, wu float64
+		n := 0
+		for h := 0; h < 365*24; h += 6 {
+			at := testStart.Add(time.Duration(h) * time.Hour)
+			s, ok := env.Snapshot(r.ID, at)
+			if !ok {
+				t.Fatalf("no snapshot for %s", r.ID)
+			}
+			ci += float64(s.CI)
+			ew += float64(s.EWIF)
+			wu += float64(s.WUE)
+			n++
+		}
+		f := float64(n)
+		out[r.ID] = Snapshot{
+			Region: r.ID,
+			CI:     units.CarbonIntensity(ci / f),
+			EWIF:   units.EWIF(ew / f),
+			WUE:    units.WUE(wu / f),
+			WSF:    r.WSF,
+			PUE:    r.PUE,
+		}
+	}
+	return out
+}
+
+func TestFig2CarbonOrdering(t *testing.T) {
+	avgs := yearlyAverages(t, yearEnv(t))
+	order := []ID{Zurich, Madrid, Oregon, Milan, Mumbai}
+	for i := 1; i < len(order); i++ {
+		lo, hi := avgs[order[i-1]], avgs[order[i]]
+		if float64(lo.CI) >= float64(hi.CI) {
+			t.Errorf("Fig.2a ordering broken: CI(%s)=%.0f should be < CI(%s)=%.0f",
+				order[i-1], float64(lo.CI), order[i], float64(hi.CI))
+		}
+	}
+}
+
+func TestFig2EWIFShape(t *testing.T) {
+	avgs := yearlyAverages(t, yearEnv(t))
+	// Zurich (hydro+biomass) must have the highest EWIF, Mumbai (coal) the
+	// lowest — the paper's central carbon/water tension.
+	for id, s := range avgs {
+		if id == Zurich {
+			continue
+		}
+		if float64(avgs[Zurich].EWIF) <= float64(s.EWIF) {
+			t.Errorf("Zurich EWIF %.2f should exceed %s's %.2f",
+				float64(avgs[Zurich].EWIF), id, float64(s.EWIF))
+		}
+	}
+	for id, s := range avgs {
+		if id == Mumbai {
+			continue
+		}
+		if float64(avgs[Mumbai].EWIF) >= float64(s.EWIF) {
+			t.Errorf("Mumbai EWIF %.2f should be below %s's %.2f",
+				float64(avgs[Mumbai].EWIF), id, float64(s.EWIF))
+		}
+	}
+}
+
+func TestFig2WUEShape(t *testing.T) {
+	avgs := yearlyAverages(t, yearEnv(t))
+	// Hot, humid Mumbai has the thirstiest cooling.
+	for id, s := range avgs {
+		if id == Mumbai {
+			continue
+		}
+		if float64(avgs[Mumbai].WUE) <= float64(s.WUE) {
+			t.Errorf("Mumbai WUE %.2f should exceed %s's %.2f",
+				float64(avgs[Mumbai].WUE), id, float64(s.WUE))
+		}
+	}
+}
+
+func TestFig2WSFShape(t *testing.T) {
+	byID := map[ID]*Region{}
+	for _, r := range Defaults() {
+		byID[r.ID] = r
+	}
+	// Madrid most water-stressed; Zurich least; Mumbai/Oregon high (the
+	// paper's "low EWIF but high scarcity" examples).
+	wsfs := []struct {
+		id ID
+		v  float64
+	}{{Madrid, byID[Madrid].WSF}, {Mumbai, byID[Mumbai].WSF}, {Oregon, byID[Oregon].WSF}, {Milan, byID[Milan].WSF}, {Zurich, byID[Zurich].WSF}}
+	if !sort.SliceIsSorted(wsfs, func(i, j int) bool { return wsfs[i].v > wsfs[j].v }) {
+		t.Errorf("WSF ordering should be madrid > mumbai > oregon > milan > zurich, got %+v", wsfs)
+	}
+}
+
+func TestCarbonWaterTension(t *testing.T) {
+	env := yearEnv(t)
+	// The lowest-carbon region (Zurich) must NOT be the lowest-water-
+	// intensity region: that conflict is the paper's whole premise.
+	var wiZurich float64
+	minWI, minWIRegion := math.Inf(1), ID("")
+	for _, r := range env.Regions {
+		var wi float64
+		n := 0
+		for h := 0; h < 365*24; h += 12 {
+			s, _ := env.Snapshot(r.ID, testStart.Add(time.Duration(h)*time.Hour))
+			wi += float64(s.WaterIntensity())
+			n++
+		}
+		wi /= float64(n)
+		if r.ID == Zurich {
+			wiZurich = wi
+		}
+		if wi < minWI {
+			minWI = wi
+			minWIRegion = r.ID
+		}
+	}
+	if minWIRegion == Zurich {
+		t.Errorf("Zurich is both carbon- and water-best (WI %.2f); the carbon/water tension is lost", wiZurich)
+	}
+}
+
+func TestWaterIntensityEquation(t *testing.T) {
+	s := Snapshot{CI: 100, EWIF: 2, WUE: 3, WSF: 0.5, PUE: 1.2}
+	want := (3 + 1.2*2) * 1.5
+	if got := float64(s.WaterIntensity()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("WaterIntensity = %g, want %g (Eq. 6)", got, want)
+	}
+}
+
+func TestDefaultsSubset(t *testing.T) {
+	rs, err := DefaultsSubset(Zurich, Mumbai)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 2 || rs[0].ID != Zurich || rs[1].ID != Mumbai {
+		t.Errorf("subset = %v", rs)
+	}
+	if _, err := DefaultsSubset(ID("atlantis")); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestNewEnvironmentValidation(t *testing.T) {
+	if _, err := NewEnvironment(nil, energy.Table, testStart, 24, 1); err == nil {
+		t.Error("empty region list accepted")
+	}
+	if _, err := NewEnvironment(Defaults(), energy.Table, testStart, 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	dup := Defaults()
+	dup[1] = dup[0]
+	if _, err := NewEnvironment(dup, energy.Table, testStart, 24, 1); err == nil {
+		t.Error("duplicate regions accepted")
+	}
+}
+
+func TestSnapshotUnknownRegion(t *testing.T) {
+	env := yearEnv(t)
+	if _, ok := env.Snapshot(ID("atlantis"), testStart); ok {
+		t.Error("snapshot for unknown region should fail")
+	}
+	if env.Region(ID("atlantis")) != nil {
+		t.Error("Region for unknown id should be nil")
+	}
+}
+
+func TestEnvironmentDeterminism(t *testing.T) {
+	a, err := NewEnvironment(Defaults(), energy.Table, testStart, 24*7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewEnvironment(Defaults(), energy.Table, testStart, 24*7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 24*7; h++ {
+		at := testStart.Add(time.Duration(h) * time.Hour)
+		for _, id := range a.IDs() {
+			sa, _ := a.Snapshot(id, at)
+			sb, _ := b.Snapshot(id, at)
+			if sa != sb {
+				t.Fatalf("snapshots differ for %s at hour %d", id, h)
+			}
+		}
+	}
+}
+
+func TestIDsOrder(t *testing.T) {
+	env := yearEnv(t)
+	ids := env.IDs()
+	if len(ids) != 5 {
+		t.Fatalf("want 5 ids, got %d", len(ids))
+	}
+	for i, r := range env.Regions {
+		if ids[i] != r.ID {
+			t.Errorf("IDs()[%d] = %s, want %s (registry order)", i, ids[i], r.ID)
+		}
+	}
+	if got := env.End(); !got.Equal(testStart.Add(365 * 24 * time.Hour)) {
+		t.Errorf("End() = %v", got)
+	}
+}

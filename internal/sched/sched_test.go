@@ -1,0 +1,312 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"waterwise/internal/cluster"
+	"waterwise/internal/energy"
+	"waterwise/internal/footprint"
+	"waterwise/internal/region"
+	"waterwise/internal/trace"
+	"waterwise/internal/transfer"
+)
+
+var testStart = time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func testEnv(t *testing.T) *region.Environment {
+	t.Helper()
+	env, err := region.NewEnvironment(region.Defaults(), energy.Table, testStart, 24*5, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func makeJobs(n int, gap time.Duration, home region.ID) []*trace.Job {
+	jobs := make([]*trace.Job, n)
+	for i := range jobs {
+		jobs[i] = &trace.Job{
+			ID: i, Submit: testStart.Add(time.Duration(i) * gap),
+			Benchmark: "swaptions", Home: home,
+			Duration: 9 * time.Minute, Energy: 0.05,
+			EstDuration: 9 * time.Minute, EstEnergy: 0.05,
+		}
+	}
+	return jobs
+}
+
+// ctxForJobs builds a scheduling context outside the simulator for direct
+// unit tests of Schedule methods.
+func ctxForJobs(t *testing.T, env *region.Environment, jobs []*trace.Job, tol float64) *cluster.Context {
+	t.Helper()
+	pending := make([]*cluster.PendingJob, len(jobs))
+	free := map[region.ID]int{}
+	for _, r := range env.Regions {
+		free[r.ID] = r.Servers
+	}
+	for i, j := range jobs {
+		pending[i] = &cluster.PendingJob{Job: j, FirstSeen: testStart}
+	}
+	return &cluster.Context{
+		Now: testStart, Jobs: pending, Free: free,
+		Busy: map[region.ID]int{},
+		Env:  env, Net: transfer.New(), FP: footprint.NewModel(footprint.NoPerturbation),
+		Tolerance: tol,
+		FreeAt: func(id region.ID, start time.Time, exec time.Duration) int {
+			return free[id]
+		},
+	}
+}
+
+func TestBaselineKeepsJobsHome(t *testing.T) {
+	env := testEnv(t)
+	jobs := makeJobs(10, time.Second, region.Mumbai)
+	dec, err := NewBaseline().Schedule(ctxForJobs(t, env, jobs, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 10 {
+		t.Fatalf("decisions = %d, want 10", len(dec))
+	}
+	for _, d := range dec {
+		if d.Region != region.Mumbai {
+			t.Errorf("baseline moved job %d to %s", d.Job.ID, d.Region)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	env := testEnv(t)
+	jobs := makeJobs(10, time.Second, region.Zurich)
+	dec, err := NewRoundRobin().Schedule(ctxForJobs(t, env, jobs, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := env.IDs()
+	for i, d := range dec {
+		if d.Region != ids[i%len(ids)] {
+			t.Errorf("decision %d region %s, want %s", i, d.Region, ids[i%len(ids)])
+		}
+	}
+}
+
+func TestLeastLoadPicksEmptiest(t *testing.T) {
+	env := testEnv(t)
+	jobs := makeJobs(1, time.Second, region.Zurich)
+	ctx := ctxForJobs(t, env, jobs, 0.5)
+	for id := range ctx.Free {
+		ctx.Free[id] = 5
+	}
+	ctx.Free[region.Milan] = 30
+	dec, err := NewLeastLoad().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec[0].Region != region.Milan {
+		t.Errorf("least-load chose %s, want milan", dec[0].Region)
+	}
+}
+
+func TestGreedyOptsRespectToleranceAndDiffer(t *testing.T) {
+	env := testEnv(t)
+	jobs := makeJobs(30, time.Second, region.Oregon)
+	net := transfer.New()
+
+	for _, g := range []*GreedyOpt{NewCarbonGreedyOpt(), NewWaterGreedyOpt()} {
+		ctx := ctxForJobs(t, env, jobs, 0.25)
+		dec, err := g.Schedule(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec) != len(jobs) {
+			t.Fatalf("%s: decisions = %d, want %d", g.Name(), len(dec), len(jobs))
+		}
+		for _, d := range dec {
+			// The oracle's own plan must respect the tolerance: planned
+			// start + exec within (1+TOL)*dur of submission (small margin
+			// for the latency-vs-slack bookkeeping).
+			lat := net.Latency(d.Job.Home, d.Region, 95)
+			slack := time.Duration(0.25 * float64(d.Job.Duration))
+			if d.Region != d.Job.Home && lat > slack {
+				t.Errorf("%s: job %d sent to %s with latency %v > slack %v",
+					g.Name(), d.Job.ID, d.Region, lat, slack)
+			}
+			if d.StartAt.Before(testStart) {
+				t.Errorf("%s: start before now", g.Name())
+			}
+		}
+	}
+
+	// The two oracles must make substantially different choices overall
+	// (the paper's observation that carbon- and water-optimal distributions
+	// differ).
+	ctxC := ctxForJobs(t, env, jobs, 1.0)
+	decC, err := NewCarbonGreedyOpt().Schedule(ctxC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxW := ctxForJobs(t, env, jobs, 1.0)
+	decW, err := NewWaterGreedyOpt().Schedule(ctxW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := range decC {
+		if decC[i].Region == decW[i].Region {
+			same++
+		}
+	}
+	if same == len(decC) {
+		t.Error("carbon- and water-greedy made identical choices; objectives are not differentiating")
+	}
+}
+
+func TestGreedyFallsBackWhenSaturated(t *testing.T) {
+	env := testEnv(t)
+	jobs := makeJobs(3, time.Second, region.Oregon)
+	ctx := ctxForJobs(t, env, jobs, 0.5)
+	ctx.FreeAt = func(region.ID, time.Time, time.Duration) int { return 0 }
+	dec, err := NewCarbonGreedyOpt().Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 3 {
+		t.Fatalf("decisions = %d, want 3 (home fallback)", len(dec))
+	}
+	for _, d := range dec {
+		if d.Region != region.Oregon {
+			t.Errorf("saturated fallback sent job to %s, want home", d.Region)
+		}
+	}
+}
+
+func TestEcovisorStaysHomeAndThrottles(t *testing.T) {
+	env := testEnv(t)
+	e := NewEcovisor()
+	// Warm the target with a first round at time 0, then schedule later
+	// rounds; all decisions must stay in the home region.
+	jobs := makeJobs(20, time.Minute, region.Mumbai)
+	ctx := ctxForJobs(t, env, jobs, 0.5)
+	dec, err := e.Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	throttled := 0
+	for _, d := range dec {
+		if d.Region != region.Mumbai {
+			t.Fatalf("ecovisor migrated job %d to %s", d.Job.ID, d.Region)
+		}
+		if d.DurationOverride > d.Job.Duration {
+			throttled++
+			if d.EnergyOverride >= d.Job.Energy {
+				t.Error("throttled job should use less energy")
+			}
+		}
+	}
+	// Mumbai CI fluctuates; across 20 jobs at one instant throttling is
+	// all-or-nothing, so just ensure overrides are self-consistent. A
+	// second round at a different time exercises the battery path.
+	ctx2 := ctxForJobs(t, env, jobs, 0.5)
+	ctx2.Now = testStart.Add(13 * time.Hour) // midday: batteries charged
+	if _, err := e.Schedule(ctx2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEcovisorBatteryCharges(t *testing.T) {
+	env := testEnv(t)
+	e := NewEcovisor()
+	jobs := makeJobs(1, time.Second, region.Madrid)
+	// Round at t0 sets lastTick; round at noon accrues charge.
+	ctx := ctxForJobs(t, env, jobs, 0.5)
+	if _, err := e.Schedule(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ctx2 := ctxForJobs(t, env, jobs, 0.5)
+	ctx2.Now = testStart.Add(14 * time.Hour)
+	if _, err := e.Schedule(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	if e.batteryKWh[region.Madrid] <= 0 {
+		t.Error("Madrid battery should have charged across a sunny day")
+	}
+	if e.batteryKWh[region.Madrid] > e.BatteryCapacityKWh+1e-9 {
+		t.Error("battery exceeded capacity")
+	}
+}
+
+func TestSchedulerNames(t *testing.T) {
+	names := map[string]cluster.Scheduler{
+		"baseline":          NewBaseline(),
+		"round-robin":       NewRoundRobin(),
+		"least-load":        NewLeastLoad(),
+		"carbon-greedy-opt": NewCarbonGreedyOpt(),
+		"water-greedy-opt":  NewWaterGreedyOpt(),
+		"ecovisor":          NewEcovisor(),
+	}
+	for want, s := range names {
+		if s.Name() != want {
+			t.Errorf("Name() = %q, want %q", s.Name(), want)
+		}
+	}
+}
+
+func TestTemporalShiftStaysHomeAndDefers(t *testing.T) {
+	env := testEnv(t)
+	s := NewTemporalShift()
+	jobs := makeJobs(10, time.Second, region.Mumbai)
+
+	// Warm the EMA with several low-intensity rounds so the current reading
+	// registers as "high": force by priming the ema map directly.
+	for _, id := range env.IDs() {
+		snap, _ := env.Snapshot(id, testStart)
+		s.ema[id] = float64(snap.CI) * 0.5 // running average far below now
+	}
+	ctx := ctxForJobs(t, env, jobs, 1.0)
+	dec, err := s.Schedule(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 0 {
+		t.Errorf("high-intensity moment with full slack should defer, decided %d", len(dec))
+	}
+
+	// Now a "good" moment: running average far above the current reading.
+	for _, id := range env.IDs() {
+		snap, _ := env.Snapshot(id, testStart)
+		s.ema[id] = float64(snap.CI) * 2
+	}
+	dec, err = s.Schedule(ctxForJobs(t, env, jobs, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(jobs) {
+		t.Fatalf("good moment should schedule everything, got %d/%d", len(dec), len(jobs))
+	}
+	for _, d := range dec {
+		if d.Region != region.Mumbai {
+			t.Errorf("temporal shifter migrated job %d to %s", d.Job.ID, d.Region)
+		}
+	}
+}
+
+func TestTemporalShiftRespectsSlackBudget(t *testing.T) {
+	env := testEnv(t)
+	s := NewTemporalShift()
+	// Pin the EMA low so every moment looks bad.
+	for _, id := range env.IDs() {
+		s.ema[id] = 1
+	}
+	s.Alpha = 0 // freeze the reference
+	jobs := makeJobs(1, time.Second, region.Milan)
+	// Job has waited past (1-margin)*TOL*dur: must schedule anyway.
+	jobs[0].Submit = testStart.Add(-time.Duration(0.9 * 0.5 * float64(jobs[0].EstDuration)))
+	dec, err := s.Schedule(ctxForJobs(t, env, jobs, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != 1 {
+		t.Fatal("slack-exhausted job must be scheduled even at a bad moment")
+	}
+}

@@ -1,0 +1,85 @@
+package sched
+
+import (
+	"time"
+
+	"waterwise/internal/cluster"
+	"waterwise/internal/region"
+)
+
+// TemporalShift is a feasible carbon-aware-only scheduler in the style of
+// "Let's wait awhile" (Wiesner et al., Middleware'21), which the WaterWise
+// paper cites as the temporal-shifting class of related work: jobs never
+// leave their home region, but their start is deferred while the home
+// grid's carbon intensity is above its recent average — up to the job's
+// delay-tolerance slack. It is carbon-only and local-only, so it bounds
+// what temporal shifting alone can achieve without WaterWise's spatial
+// moves or water awareness.
+type TemporalShift struct {
+	// ema tracks each region's exponentially-weighted mean carbon
+	// intensity, the "is now a good time?" reference.
+	ema map[region.ID]float64
+	// Alpha is the EMA smoothing factor per scheduling round.
+	Alpha float64
+	// Threshold is the fraction of the EMA below which "now" counts as a
+	// good moment (1.0 = any below-average intensity is good).
+	Threshold float64
+	// SafetyMargin is the fraction of the slack budget the scheduler
+	// refuses to spend waiting, so tick quantization cannot cause
+	// violations.
+	SafetyMargin float64
+}
+
+// NewTemporalShift returns a temporal-shifting scheduler with moderate
+// defaults: scheduling when intensity dips below its running average,
+// keeping 20% of the slack in reserve.
+func NewTemporalShift() *TemporalShift {
+	return &TemporalShift{
+		ema:          make(map[region.ID]float64),
+		Alpha:        0.05,
+		Threshold:    1.0,
+		SafetyMargin: 0.2,
+	}
+}
+
+// Name implements cluster.Scheduler.
+func (*TemporalShift) Name() string { return "temporal-shift" }
+
+// Schedule implements cluster.Scheduler.
+func (s *TemporalShift) Schedule(ctx *cluster.Context) ([]cluster.Decision, error) {
+	// Update the per-region intensity references.
+	for _, id := range ctx.Env.IDs() {
+		snap, ok := ctx.Env.Snapshot(id, ctx.Now)
+		if !ok {
+			continue
+		}
+		ci := float64(snap.CI)
+		if prev, seen := s.ema[id]; seen {
+			s.ema[id] = prev + s.Alpha*(ci-prev)
+		} else {
+			s.ema[id] = ci
+		}
+	}
+
+	out := make([]cluster.Decision, 0, len(ctx.Jobs))
+	for _, pj := range ctx.Jobs {
+		job := pj.Job
+		home := job.Home
+		snap, ok := ctx.Env.Snapshot(home, ctx.Now)
+		if !ok {
+			out = append(out, cluster.Decision{Job: job, Region: home})
+			continue
+		}
+		budget := time.Duration((1 - s.SafetyMargin) * ctx.Tolerance * float64(job.EstDuration))
+		waited := ctx.Now.Sub(job.Submit)
+		goodMoment := float64(snap.CI) <= s.Threshold*s.ema[home]
+		if !goodMoment && waited < budget {
+			continue // keep waiting for a dip
+		}
+		out = append(out, cluster.Decision{Job: job, Region: home})
+	}
+	return out, nil
+}
+
+// Interface compliance check.
+var _ cluster.Scheduler = (*TemporalShift)(nil)

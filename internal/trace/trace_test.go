@@ -1,0 +1,269 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"waterwise/internal/region"
+	"waterwise/internal/stats"
+)
+
+var testStart = time.Date(2023, 7, 3, 0, 0, 0, 0, time.UTC) // a Monday
+
+func testConfig() Config {
+	return Config{
+		Start:      testStart,
+		Duration:   48 * time.Hour,
+		JobsPerDay: 2000,
+		Regions:    []region.ID{region.Zurich, region.Oregon, region.Mumbai},
+		Seed:       11,
+	}
+}
+
+func TestBorgLikeBasics(t *testing.T) {
+	jobs, err := GenerateBorgLike(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	expected := 2.0 * 2000
+	if f := float64(len(jobs)); f < expected*0.85 || f > expected*1.15 {
+		t.Errorf("job count %d, want within 15%% of %g", len(jobs), expected)
+	}
+	end := testStart.Add(48 * time.Hour)
+	seenIDs := map[int]bool{}
+	for i, j := range jobs {
+		if j.ID != i {
+			t.Fatalf("jobs not renumbered: jobs[%d].ID = %d", i, j.ID)
+		}
+		if seenIDs[j.ID] {
+			t.Fatalf("duplicate job ID %d", j.ID)
+		}
+		seenIDs[j.ID] = true
+		if j.Submit.Before(testStart) || j.Submit.After(end) {
+			t.Fatalf("job %d submitted at %v outside window", j.ID, j.Submit)
+		}
+		if i > 0 && j.Submit.Before(jobs[i-1].Submit) {
+			t.Fatalf("jobs not sorted at %d", i)
+		}
+		if j.Duration <= 0 || j.Energy <= 0 || j.EstDuration <= 0 || j.EstEnergy <= 0 {
+			t.Fatalf("job %d has non-positive size fields: %+v", j.ID, j)
+		}
+	}
+}
+
+func TestBorgLikeDiurnalShape(t *testing.T) {
+	cfg := testConfig()
+	cfg.JobsPerDay = 20000 // plenty of samples
+	jobs, err := GenerateBorgLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byHour := make([]int, 24)
+	for _, j := range jobs {
+		byHour[j.Submit.Hour()]++
+	}
+	afternoon := byHour[14] + byHour[15] + byHour[16]
+	night := byHour[2] + byHour[3] + byHour[4]
+	if afternoon <= night {
+		t.Errorf("diurnal shape missing: afternoon %d <= night %d", afternoon, night)
+	}
+}
+
+func TestAlibabaLikeBurstier(t *testing.T) {
+	cfg := testConfig()
+	cfg.JobsPerDay = 10000
+	borg, err := GenerateBorgLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ali, err := GenerateAlibabaLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rates should be comparable (same JobsPerDay semantics)...
+	if r := float64(len(ali)) / float64(len(borg)); r < 0.7 || r > 1.3 {
+		t.Errorf("alibaba/borg volume ratio = %.2f, want ~1", r)
+	}
+	// ...but the per-minute arrival counts should have a higher coefficient
+	// of variation (burstiness).
+	cv := func(jobs []*Job) float64 {
+		counts := map[int]float64{}
+		for _, j := range jobs {
+			counts[int(j.Submit.Sub(testStart)/time.Minute)]++
+		}
+		var xs []float64
+		minutes := int(cfg.Duration / time.Minute)
+		for m := 0; m < minutes; m++ {
+			xs = append(xs, counts[m])
+		}
+		return stats.StdDev(xs) / stats.Mean(xs)
+	}
+	if cvB, cvA := cv(borg), cv(ali); cvA <= cvB {
+		t.Errorf("alibaba CV %.3f should exceed borg CV %.3f", cvA, cvB)
+	}
+}
+
+func TestDurationScale(t *testing.T) {
+	cfg := testConfig()
+	cfg.DurationScale = 0.5
+	half, err := GenerateBorgLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DurationScale = 1
+	full, err := GenerateBorgLike(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(jobs []*Job) float64 {
+		s := 0.0
+		for _, j := range jobs {
+			s += j.Duration.Minutes()
+		}
+		return s / float64(len(jobs))
+	}
+	if r := mean(half) / mean(full); math.Abs(r-0.5) > 0.05 {
+		t.Errorf("scaled/full duration ratio = %.3f, want ~0.5", r)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := testConfig()
+	bad.Duration = 0
+	if _, err := GenerateBorgLike(bad); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad = testConfig()
+	bad.JobsPerDay = -5
+	if _, err := GenerateBorgLike(bad); err == nil {
+		t.Error("negative rate accepted")
+	}
+	bad = testConfig()
+	bad.Regions = nil
+	if _, err := GenerateBorgLike(bad); err == nil {
+		t.Error("no regions accepted")
+	}
+	bad = testConfig()
+	bad.Benchmarks = []string{"quake3"}
+	if _, err := GenerateBorgLike(bad); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	bad = testConfig()
+	bad.Benchmarks = []string{"dedup"}
+	jobs, err := GenerateBorgLike(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Benchmark != "dedup" {
+			t.Fatalf("benchmark restriction ignored: %s", j.Benchmark)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := GenerateBorgLike(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateBorgLike(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if *a[i] != *b[i] {
+			t.Fatalf("job %d differs despite same seed", i)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	jobs, err := GenerateBorgLike(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = jobs[:100]
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(jobs))
+	}
+	for i := range jobs {
+		a, b := jobs[i], back[i]
+		if a.ID != b.ID || a.Benchmark != b.Benchmark || a.Home != b.Home {
+			t.Fatalf("job %d identity fields differ: %+v vs %+v", i, a, b)
+		}
+		if !a.Submit.Truncate(time.Millisecond).Equal(b.Submit) {
+			t.Fatalf("job %d submit differs: %v vs %v", i, a.Submit, b.Submit)
+		}
+		if a.Duration.Truncate(time.Millisecond) != b.Duration {
+			t.Fatalf("job %d duration differs", i)
+		}
+		if math.Abs(float64(a.Energy-b.Energy)) > 1e-12 {
+			t.Fatalf("job %d energy differs", i)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	good := "id,submit_unix_ms,benchmark,home,duration_ms,energy_kwh,est_duration_ms,est_energy_kwh\n"
+	if _, err := ReadCSV(strings.NewReader(good + "x,0,dedup,zurich,1,1,1,1\n")); err == nil {
+		t.Error("non-numeric id accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader(good + "0,zzz,dedup,zurich,1,1,1,1\n")); err == nil {
+		t.Error("non-numeric submit accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader(good + "0,0,dedup,zurich,bad,1,1,1\n")); err == nil {
+		t.Error("non-numeric duration accepted")
+	}
+}
+
+// Property: generated traces are always sorted, renumbered, with homes from
+// the configured region set.
+func TestQuickTraceInvariants(t *testing.T) {
+	regions := []region.ID{region.Zurich, region.Milan}
+	f := func(seed int64) bool {
+		cfg := Config{
+			Start: testStart, Duration: 6 * time.Hour, JobsPerDay: 1500,
+			Regions: regions, Seed: seed,
+		}
+		jobs, err := GenerateBorgLike(cfg)
+		if err != nil {
+			return false
+		}
+		for i, j := range jobs {
+			if j.ID != i {
+				return false
+			}
+			if i > 0 && j.Submit.Before(jobs[i-1].Submit) {
+				return false
+			}
+			if j.Home != region.Zurich && j.Home != region.Milan {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

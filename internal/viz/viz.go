@@ -1,0 +1,214 @@
+// Package viz renders the experiment harness's data as plain-text charts:
+// horizontal bar charts for the savings comparisons (the paper's bar
+// figures) and sparklines/line strips for time series (Fig. 2(e), Fig. 13).
+// Everything is pure text so reports remain greppable and diffable.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Bar is one labelled value in a bar chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal bars scaled to width runes. Negative values
+// render to the left of a zero axis when any are present; the value is
+// printed after each bar. An empty input renders an empty string.
+func BarChart(title string, bars []Bar, width int) string {
+	if len(bars) == 0 {
+		return ""
+	}
+	if width < 10 {
+		width = 10
+	}
+	maxAbs := 0.0
+	anyNeg := false
+	labelW := 0
+	for _, b := range bars {
+		if a := math.Abs(b.Value); a > maxAbs {
+			maxAbs = a
+		}
+		if b.Value < 0 {
+			anyNeg = true
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for _, b := range bars {
+		n := int(math.Round(math.Abs(b.Value) / maxAbs * float64(width)))
+		if n == 0 && b.Value != 0 {
+			n = 1
+		}
+		fmt.Fprintf(&sb, "%-*s ", labelW, b.Label)
+		if anyNeg {
+			// Two-sided layout: [neg side][axis][pos side].
+			if b.Value < 0 {
+				sb.WriteString(strings.Repeat(" ", width-n))
+				sb.WriteString(strings.Repeat("░", n))
+				sb.WriteString("|")
+				sb.WriteString(strings.Repeat(" ", width))
+			} else {
+				sb.WriteString(strings.Repeat(" ", width))
+				sb.WriteString("|")
+				sb.WriteString(strings.Repeat("█", n))
+				sb.WriteString(strings.Repeat(" ", width-n))
+			}
+		} else {
+			sb.WriteString(strings.Repeat("█", n))
+			sb.WriteString(strings.Repeat(" ", width-n))
+		}
+		fmt.Fprintf(&sb, "  %.1f\n", b.Value)
+	}
+	return sb.String()
+}
+
+// sparkRunes are the eight block heights of a sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders xs as a single-line sparkline, resampling to at most
+// width points (mean pooling). Empty input renders an empty string.
+func Sparkline(xs []float64, width int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	if width <= 0 {
+		width = 60
+	}
+	pts := resample(xs, width)
+	lo, hi := pts[0], pts[0]
+	for _, v := range pts {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var sb strings.Builder
+	span := hi - lo
+	for _, v := range pts {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparkRunes)-1))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparkRunes) {
+			idx = len(sparkRunes) - 1
+		}
+		sb.WriteRune(sparkRunes[idx])
+	}
+	return sb.String()
+}
+
+// Series renders a labelled time series as a sparkline with its range:
+//
+//	carbon intensity  ▁▂▄█▆▃▁  [122, 456] mean 337
+func Series(label string, xs []float64, width int) string {
+	if len(xs) == 0 {
+		return fmt.Sprintf("%s  (no data)", label)
+	}
+	lo, hi, sum := xs[0], xs[0], 0.0
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		sum += v
+	}
+	return fmt.Sprintf("%s  %s  [%.3g, %.3g] mean %.3g",
+		label, Sparkline(xs, width), lo, hi, sum/float64(len(xs)))
+}
+
+// Histogram renders a fixed-bin histogram of xs with bar lengths scaled to
+// width. bins must be >= 1.
+func Histogram(title string, xs []float64, bins, width int) string {
+	if len(xs) == 0 || bins < 1 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	counts := make([]int, bins)
+	span := hi - lo
+	for _, v := range xs {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(bins))
+		}
+		if idx >= bins {
+			idx = bins - 1
+		}
+		counts[idx]++
+	}
+	maxC := 0
+	for _, c := range counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var sb strings.Builder
+	if title != "" {
+		sb.WriteString(title)
+		sb.WriteByte('\n')
+	}
+	for i, c := range counts {
+		bLo := lo + span*float64(i)/float64(bins)
+		bHi := lo + span*float64(i+1)/float64(bins)
+		n := 0
+		if maxC > 0 {
+			n = int(math.Round(float64(c) / float64(maxC) * float64(width)))
+		}
+		fmt.Fprintf(&sb, "[%8.3g, %8.3g) %s %d\n", bLo, bHi, strings.Repeat("█", n), c)
+	}
+	return sb.String()
+}
+
+// resample mean-pools xs down (or repeats up) to exactly n points.
+func resample(xs []float64, n int) []float64 {
+	if n <= 0 || len(xs) == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		loF := float64(i) * float64(len(xs)) / float64(n)
+		hiF := float64(i+1) * float64(len(xs)) / float64(n)
+		lo, hi := int(loF), int(math.Ceil(hiF))
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		if lo >= hi {
+			lo = hi - 1
+		}
+		sum := 0.0
+		for j := lo; j < hi; j++ {
+			sum += xs[j]
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	out := BarChart("savings", []Bar{{"waterwise", 50}, {"baseline", 0}, {"rr", 25}}, 20)
+	if !strings.Contains(out, "savings") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4", len(lines))
+	}
+	// Largest value gets the longest bar.
+	if strings.Count(lines[1], "█") != 20 {
+		t.Errorf("max bar should be full width, got %q", lines[1])
+	}
+	if strings.Count(lines[3], "█") != 10 {
+		t.Errorf("half value should be half width, got %q", lines[3])
+	}
+	if strings.Count(lines[2], "█") != 0 {
+		t.Errorf("zero value should have no bar, got %q", lines[2])
+	}
+}
+
+func TestBarChartNegative(t *testing.T) {
+	out := BarChart("", []Bar{{"a", 10}, {"b", -10}}, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[0], "|█") {
+		t.Errorf("positive bar should sit right of axis: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "░|") {
+		t.Errorf("negative bar should sit left of axis: %q", lines[1])
+	}
+}
+
+func TestBarChartEmptyAndTinyWidth(t *testing.T) {
+	if BarChart("x", nil, 20) != "" {
+		t.Error("empty chart should render empty")
+	}
+	out := BarChart("", []Bar{{"a", 1}}, 1) // clamped to 10
+	if !strings.Contains(out, "█") {
+		t.Error("tiny width should still render")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if len([]rune(s)) != 8 {
+		t.Fatalf("sparkline runes = %d, want 8", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("extremes wrong: %q", s)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("monotone input should give monotone sparkline: %q", s)
+		}
+	}
+	if Sparkline(nil, 8) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	// Constant series: all runes identical, no panic on zero span.
+	c := Sparkline([]float64{5, 5, 5, 5}, 4)
+	for _, r := range c {
+		if r != '▁' {
+			t.Errorf("constant series should render flat: %q", c)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	out := Series("ci", []float64{1, 2, 3}, 10)
+	for _, want := range []string{"ci", "[1, 3]", "mean 2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Series output %q missing %q", out, want)
+		}
+	}
+	if !strings.Contains(Series("x", nil, 10), "no data") {
+		t.Error("empty series should say so")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{1, 1, 1, 2, 3}
+	out := Histogram("h", xs, 2, 10)
+	if !strings.Contains(out, "h\n") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d, want 3 (title + 2 bins)", len(lines))
+	}
+	if !strings.HasSuffix(lines[1], "3") {
+		t.Errorf("first bin should count 3: %q", lines[1])
+	}
+	if Histogram("", nil, 2, 10) != "" {
+		t.Error("empty histogram should be empty")
+	}
+}
+
+func TestResample(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	down := resample(xs, 2)
+	if len(down) != 2 || down[0] != 1.5 || down[1] != 3.5 {
+		t.Errorf("downsample = %v, want [1.5 3.5]", down)
+	}
+	up := resample([]float64{1, 2}, 4)
+	if len(up) != 4 {
+		t.Errorf("upsample length = %d, want 4", len(up))
+	}
+}
+
+// Property: sparkline always emits exactly min(width, requested) runes from
+// the spark alphabet, for any finite input.
+func TestQuickSparklineShape(t *testing.T) {
+	f := func(raw []float64, w uint8) bool {
+		width := int(w%60) + 1
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !isFinite(v) {
+				continue
+			}
+			xs = append(xs, v)
+		}
+		s := Sparkline(xs, width)
+		if len(xs) == 0 {
+			return s == ""
+		}
+		runes := []rune(s)
+		if len(runes) != width {
+			return false
+		}
+		for _, r := range runes {
+			ok := false
+			for _, sr := range sparkRunes {
+				if r == sr {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func isFinite(v float64) bool { return v == v && v < 1e300 && v > -1e300 }

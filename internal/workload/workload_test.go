@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"waterwise/internal/stats"
+)
+
+func TestTable1Complete(t *testing.T) {
+	// Table 1 of the paper: 5 PARSEC + 5 CloudSuite benchmarks.
+	all := All()
+	if len(all) != 10 {
+		t.Fatalf("want 10 benchmarks, got %d", len(all))
+	}
+	counts := map[Suite]int{}
+	for _, p := range all {
+		counts[p.Suite]++
+		if p.MeanDuration <= 0 || p.MeanPowerW <= 0 || p.PackageMB <= 0 {
+			t.Errorf("%s: non-positive profile fields %+v", p.Name, p)
+		}
+		if p.DurationCV <= 0 || p.DurationCV > 0.5 {
+			t.Errorf("%s: implausible duration CV %g", p.Name, p.DurationCV)
+		}
+	}
+	if counts[PARSEC] != 5 || counts[CloudSuite] != 5 {
+		t.Errorf("suite split = %v, want 5 PARSEC + 5 CloudSuite", counts)
+	}
+	for _, name := range []string{"dedup", "netdedup", "canneal", "blackscholes", "swaptions"} {
+		p, err := Lookup(name)
+		if err != nil {
+			t.Errorf("PARSEC benchmark %q missing: %v", name, err)
+			continue
+		}
+		if p.Suite != PARSEC {
+			t.Errorf("%q suite = %v, want parsec", name, p.Suite)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("quake3"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestNamesSortedAndMatchAll(t *testing.T) {
+	names := Names()
+	all := All()
+	if len(names) != len(all) {
+		t.Fatalf("Names/All length mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("names not sorted at %d: %s >= %s", i, names[i-1], names[i])
+		}
+	}
+	for i, p := range all {
+		if names[i] != p.Name {
+			t.Errorf("Names()[%d] = %s, want %s", i, names[i], p.Name)
+		}
+	}
+}
+
+func TestMeanEnergy(t *testing.T) {
+	p := Profile{MeanDuration: 30 * time.Minute, MeanPowerW: 200}
+	want := 0.2 * 0.5 // kW * h
+	if got := float64(p.MeanEnergy()); math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanEnergy = %g, want %g", got, want)
+	}
+}
+
+func TestSampleStatistics(t *testing.T) {
+	p, err := Lookup("graph-analytics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRand(42)
+	var durs, energies []float64
+	for i := 0; i < 5000; i++ {
+		a := p.Sample(rng)
+		if a.Duration <= 0 || a.Energy <= 0 {
+			t.Fatalf("non-positive actuals %+v", a)
+		}
+		durs = append(durs, a.Duration.Minutes())
+		energies = append(energies, float64(a.Energy))
+	}
+	meanDur := stats.Mean(durs)
+	if math.Abs(meanDur-p.MeanDuration.Minutes())/p.MeanDuration.Minutes() > 0.03 {
+		t.Errorf("sampled mean duration %.1f min, want ~%.1f", meanDur, p.MeanDuration.Minutes())
+	}
+	cv := stats.StdDev(durs) / meanDur
+	if math.Abs(cv-p.DurationCV) > 0.05 {
+		t.Errorf("sampled duration CV %.3f, want ~%.3f", cv, p.DurationCV)
+	}
+	meanE := stats.Mean(energies)
+	if math.Abs(meanE-float64(p.MeanEnergy()))/float64(p.MeanEnergy()) > 0.05 {
+		t.Errorf("sampled mean energy %.4f, want ~%.4f", meanE, float64(p.MeanEnergy()))
+	}
+}
+
+// Property: samples are always positive and bounded by the 10%-of-mean
+// duration floor.
+func TestQuickSampleBounds(t *testing.T) {
+	p, err := Lookup("dedup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := stats.NewRand(seed)
+		for i := 0; i < 50; i++ {
+			a := p.Sample(rng)
+			if a.Duration < time.Duration(float64(p.MeanDuration)*0.1) {
+				return false
+			}
+			if a.Energy <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package waterwise
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	env, err := NewEnvironment(EnvironmentConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(env.Regions()); got != 5 {
+		t.Fatalf("default environment has %d regions, want 5", got)
+	}
+	jobs, err := env.GenerateBorgTrace(TraceConfig{Days: 1, JobsPerDay: 1500, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 1000 {
+		t.Fatalf("trace too small: %d jobs", len(jobs))
+	}
+	if err := Validate(env, jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := env.Run(NewBaseline(), jobs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewScheduler(SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := env.Run(sched, jobs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv, err := CompareSavings(base, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sv.CarbonPct <= 0 {
+		t.Errorf("carbon saving = %.1f%%, want positive", sv.CarbonPct)
+	}
+	dist := Distribution(run, env.Regions())
+	total := 0.0
+	for _, p := range dist {
+		total += p
+	}
+	if total < 99.9 || total > 100.1 {
+		t.Errorf("distribution sums to %.1f%%, want 100%%", total)
+	}
+}
+
+func TestEnvironmentOptions(t *testing.T) {
+	env, err := NewEnvironment(EnvironmentConfig{
+		Regions:          []RegionID{Zurich, Mumbai},
+		ServersPerRegion: 10,
+		UseWRIWaterData:  true,
+		Seed:             3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := env.Regions()
+	if len(ids) != 2 || ids[0] != Zurich || ids[1] != Mumbai {
+		t.Fatalf("regions = %v", ids)
+	}
+	snap, ok := env.Snapshot(Zurich, time.Date(2023, 7, 1, 12, 0, 0, 0, time.UTC))
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if snap.CI <= 0 || snap.WaterIntensity() <= 0 {
+		t.Errorf("snapshot not populated: %+v", snap)
+	}
+	if _, err := NewEnvironment(EnvironmentConfig{Regions: []RegionID{"atlantis"}}); err == nil {
+		t.Error("unknown region accepted")
+	}
+}
+
+func TestSchedulerConfigForwarding(t *testing.T) {
+	if _, err := NewScheduler(SchedulerConfig{LambdaCarbon: 0.8, LambdaWater: 0.1}); err == nil {
+		t.Error("invalid lambda split accepted")
+	}
+	s, err := NewScheduler(SchedulerConfig{LambdaCarbon: 0.7, LambdaWater: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "waterwise" {
+		t.Errorf("Name = %q", s.Name())
+	}
+}
+
+func TestValidateCatchesBadTraces(t *testing.T) {
+	env, err := NewEnvironment(EnvironmentConfig{Regions: []RegionID{Zurich}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := env.GenerateBorgTrace(TraceConfig{Days: 1, JobsPerDay: 100, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(env, good); err != nil {
+		t.Fatal(err)
+	}
+	bad := *good[0]
+	bad.Home = Mumbai // not in this environment
+	if err := Validate(env, []*Job{&bad}); err == nil {
+		t.Error("foreign home region accepted")
+	}
+	late := *good[0]
+	late.Submit = time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := Validate(env, []*Job{&late}); err == nil {
+		t.Error("out-of-horizon submission accepted")
+	}
+	if err := Validate(nil, nil); err == nil {
+		t.Error("nil environment accepted")
+	}
+}
+
+func TestAlibabaTraceAPI(t *testing.T) {
+	env, err := NewEnvironment(EnvironmentConfig{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := env.GenerateAlibabaTrace(TraceConfig{Days: 1, JobsPerDay: 2000, DurationScale: 0.2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) < 1200 {
+		t.Fatalf("alibaba trace too small: %d", len(jobs))
+	}
+}
+
+func TestAllComparatorsRun(t *testing.T) {
+	env, err := NewEnvironment(EnvironmentConfig{Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := env.GenerateBorgTrace(TraceConfig{Days: 1, JobsPerDay: 400, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []Scheduler{
+		NewBaseline(), NewRoundRobin(), NewLeastLoad(),
+		NewCarbonGreedyOpt(), NewWaterGreedyOpt(), NewEcovisor(),
+	} {
+		res, err := env.Run(s, jobs, 0.5)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if len(res.Outcomes) != len(jobs) {
+			t.Errorf("%s completed %d/%d jobs", s.Name(), len(res.Outcomes), len(jobs))
+		}
+	}
+}

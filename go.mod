@@ -1,0 +1,3 @@
+module waterwise
+
+go 1.24

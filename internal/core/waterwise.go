@@ -104,6 +104,67 @@ type Scheduler struct {
 	// (exported for tests and the overhead study via Stats).
 	softened int
 	rounds   int
+	// models caches the round MILP skeleton per batch shape: the
+	// constraint structure (Eq. 9 assignment rows + Eq. 10 capacity rows)
+	// is identical between rounds with the same job count, so only the
+	// objective coefficients, variable bounds, and capacity RHS values are
+	// rewritten each round instead of rebuilding the whole problem.
+	models map[modelKey]*roundModel
+	// solverStats aggregates branch-and-bound instrumentation across
+	// rounds for the Fig. 13 decision-overhead accounting.
+	solverStats milp.Stats
+}
+
+type modelKey struct{ m, n int }
+
+// roundModel is a cached MILP skeleton for an M-jobs x N-regions round.
+type roundModel struct {
+	prob    *milp.Problem
+	capRows []int     // constraint indices of the Eq. 10 capacity rows
+	obj     []float64 // reusable objective buffer (len M*N)
+}
+
+// model returns the cached MILP skeleton for an MxN round, building it on
+// first use.
+func (s *Scheduler) model(M, N int) (*roundModel, error) {
+	key := modelKey{M, N}
+	if rm, ok := s.models[key]; ok {
+		return rm, nil
+	}
+	prob := milp.New(M * N)
+	for v := 0; v < M*N; v++ {
+		// Eq. 9 (Σ_n x_mn = 1, x >= 0) implies x_mn <= 1, so the binaries
+		// need no explicit upper-bound rows.
+		if err := prob.SetImpliedBinary(v); err != nil {
+			return nil, err
+		}
+	}
+	// Eq. 9: each job assigned to exactly one region.
+	for m := 0; m < M; m++ {
+		terms := make([]lp.Term, N)
+		for n := 0; n < N; n++ {
+			terms[n] = lp.Term{Var: m*N + n, Coef: 1}
+		}
+		if _, err := prob.AddConstraint(terms, lp.EQ, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Eq. 10: regional capacity (RHS rewritten every round).
+	capRows := make([]int, N)
+	for n := 0; n < N; n++ {
+		terms := make([]lp.Term, M)
+		for m := 0; m < M; m++ {
+			terms[m] = lp.Term{Var: m*N + n, Coef: 1}
+		}
+		row, err := prob.AddConstraint(terms, lp.LE, 0)
+		if err != nil {
+			return nil, err
+		}
+		capRows[n] = row
+	}
+	rm := &roundModel{prob: prob, capRows: capRows, obj: make([]float64, M*N)}
+	s.models[key] = rm
+	return rm, nil
 }
 
 // New returns a WaterWise scheduler, validating and defaulting cfg.
@@ -137,6 +198,7 @@ func New(cfg Config) (*Scheduler, error) {
 		cfg:        cfg,
 		histCarbon: make(map[region.ID][]float64),
 		histWater:  make(map[region.ID][]float64),
+		models:     make(map[modelKey]*roundModel),
 	}, nil
 }
 
@@ -146,6 +208,11 @@ func (s *Scheduler) Name() string { return "waterwise" }
 // Stats reports internal counters: total rounds and how many needed the
 // softened controller.
 func (s *Scheduler) Stats() (rounds, softened int) { return s.rounds, s.softened }
+
+// SolverStats reports the branch-and-bound instrumentation accumulated
+// across all scheduling rounds: nodes, simplex iterations, warm-start hit
+// rate, and solver wall time (the decision-overhead breakdown of Fig. 13).
+func (s *Scheduler) SolverStats() milp.Stats { return s.solverStats }
 
 // candidate carries the per-(job, region) scoring inputs for one round.
 type candidate struct {
@@ -331,8 +398,16 @@ func (s *Scheduler) objective(ids []region.ID, cands [][]candidate, m, n int) fl
 // usable solution was found, and any solver error.
 func (s *Scheduler) solve(ctx *cluster.Context, ids []region.ID, caps []int, jobs []*cluster.PendingJob, cands [][]candidate, soft bool) ([]cluster.Decision, bool, error) {
 	M, N := len(jobs), len(ids)
-	prob := milp.New(M * N)
-	obj := make([]float64, M*N)
+	rm, err := s.model(M, N)
+	if err != nil {
+		return nil, false, err
+	}
+	prob, obj := rm.prob, rm.obj
+	// Clear the previous round's pair-forbidding fixes before installing
+	// this round's.
+	if err := prob.ResetVarBounds(0, math.Inf(1)); err != nil {
+		return nil, false, err
+	}
 	for m := 0; m < M; m++ {
 		// Remaining tolerance: the budget shrinks by the time the job has
 		// already spent waiting in the queue.
@@ -345,11 +420,6 @@ func (s *Scheduler) solve(ctx *cluster.Context, ids []region.ID, caps []int, job
 		}
 		for n := 0; n < N; n++ {
 			v := m*N + n
-			// Eq. 9 (Σ_n x_mn = 1, x >= 0) implies x_mn <= 1, so the
-			// binaries need no explicit upper-bound rows.
-			if err := prob.SetImpliedBinary(v); err != nil {
-				return nil, false, err
-			}
 			cost := s.objective(ids, cands, m, n)
 			ratio := cands[m][n].ratio
 			switch {
@@ -375,24 +445,9 @@ func (s *Scheduler) solve(ctx *cluster.Context, ids []region.ID, caps []int, job
 	if err := prob.SetObjective(obj, lp.Minimize); err != nil {
 		return nil, false, err
 	}
-
-	// Eq. 9: each job assigned to exactly one region.
-	for m := 0; m < M; m++ {
-		terms := make([]lp.Term, N)
-		for n := 0; n < N; n++ {
-			terms[n] = lp.Term{Var: m*N + n, Coef: 1}
-		}
-		if _, err := prob.AddConstraint(terms, lp.EQ, 1); err != nil {
-			return nil, false, err
-		}
-	}
-	// Eq. 10: regional capacity.
+	// Eq. 10 RHS: this round's regional capacities.
 	for n := 0; n < N; n++ {
-		terms := make([]lp.Term, M)
-		for m := 0; m < M; m++ {
-			terms[m] = lp.Term{Var: m*N + n, Coef: 1}
-		}
-		if _, err := prob.AddConstraint(terms, lp.LE, float64(caps[n])); err != nil {
+		if err := prob.SetRHS(rm.capRows[n], float64(caps[n])); err != nil {
 			return nil, false, err
 		}
 	}
@@ -401,6 +456,7 @@ func (s *Scheduler) solve(ctx *cluster.Context, ids []region.ID, caps []int, job
 	if err != nil {
 		return nil, false, err
 	}
+	s.solverStats.Add(sol.Stats)
 	if sol.Status != milp.Optimal && sol.Status != milp.Feasible {
 		return nil, false, nil
 	}

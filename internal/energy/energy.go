@@ -13,7 +13,6 @@ package energy
 
 import (
 	"fmt"
-	"sort"
 
 	"waterwise/internal/units"
 )
@@ -81,8 +80,10 @@ type Factors struct {
 }
 
 // FactorTable maps each source to its factors. Different tables represent
-// different external datasets.
-type FactorTable map[Source]Factors
+// different external datasets. It is a dense array indexed by Source: mix
+// arithmetic runs in every candidate-scoring loop of the scheduler, and
+// array indexing keeps it off the map-lookup hot path.
+type FactorTable [numSources]Factors
 
 // Table is the default factor table, following IPCC life-cycle carbon
 // intensities [9] and Macknick et al. operational water consumption factors
@@ -118,8 +119,10 @@ var WRITable = FactorTable{
 }
 
 // Mix is the share of each source in a grid's generation. Shares are
-// non-negative and sum to 1 for a normalized mix.
-type Mix map[Source]float64
+// non-negative and sum to 1 for a normalized mix. It is a dense array
+// indexed by Source (absent sources simply have share 0), so per-snapshot
+// CI/EWIF derivation is pure arithmetic with no map traffic.
+type Mix [numSources]float64
 
 // All mix arithmetic iterates sources in declaration order rather than map
 // order: floating-point sums are order-dependent, and fixed order keeps
@@ -134,7 +137,7 @@ func (m Mix) Normalize() Mix {
 			total += v
 		}
 	}
-	out := make(Mix, len(m))
+	var out Mix
 	if total == 0 {
 		return out
 	}
@@ -190,27 +193,21 @@ func (m Mix) RenewableShare() float64 {
 	return r
 }
 
-// Clone returns a deep copy of the mix.
-func (m Mix) Clone() Mix {
-	out := make(Mix, len(m))
-	for s, v := range m {
-		out[s] = v
-	}
-	return out
-}
+// Clone returns a copy of the mix (a value copy, since Mix is an array).
+func (m Mix) Clone() Mix { return m }
 
-// String renders the mix sorted by source for stable output.
+// String renders the nonzero shares in source order for stable output.
 func (m Mix) String() string {
-	srcs := make([]Source, 0, len(m))
-	for s := range m {
-		srcs = append(srcs, s)
-	}
-	sort.Slice(srcs, func(i, j int) bool { return srcs[i] < srcs[j] })
 	out := "{"
-	for i, s := range srcs {
-		if i > 0 {
+	first := true
+	for s := Source(0); s < numSources; s++ {
+		if m[s] == 0 {
+			continue
+		}
+		if !first {
 			out += " "
 		}
+		first = false
 		out += fmt.Sprintf("%s:%.2f", s, m[s])
 	}
 	return out + "}"

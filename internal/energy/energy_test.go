@@ -48,10 +48,10 @@ func TestAllSourcesComplete(t *testing.T) {
 			t.Errorf("duplicate source name %q", name)
 		}
 		seen[name] = true
-		if _, ok := Table[s]; !ok {
+		if Table[s] == (Factors{}) {
 			t.Errorf("source %v missing from Table", s)
 		}
-		if _, ok := WRITable[s]; !ok {
+		if WRITable[s] == (Factors{}) {
 			t.Errorf("source %v missing from WRITable", s)
 		}
 	}
@@ -83,11 +83,11 @@ func TestMixNormalize(t *testing.T) {
 	// Negative and zero entries are dropped.
 	m2 := Mix{Hydro: -1, Gas: 0, Coal: 3}
 	n2 := m2.Normalize()
-	if len(n2) != 1 || math.Abs(n2[Coal]-1) > 1e-12 {
+	if math.Abs(n2.Total()-1) > 1e-12 || math.Abs(n2[Coal]-1) > 1e-12 || n2[Hydro] != 0 {
 		t.Errorf("normalize with junk entries = %v, want {coal:1}", n2)
 	}
 	// All-zero mix.
-	if n3 := (Mix{Gas: 0}).Normalize(); len(n3) != 0 {
+	if n3 := (Mix{Gas: 0}).Normalize(); n3.Total() != 0 {
 		t.Errorf("normalize of zero mix = %v, want empty", n3)
 	}
 }

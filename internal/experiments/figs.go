@@ -505,12 +505,19 @@ func Fig12(s Scale) (*Report, error) {
 	}, nil
 }
 
-// Fig13 regenerates the decision-overhead study on both traces.
+// Fig13 regenerates the decision-overhead study on both traces, now with
+// the MILP solver's own instrumentation (nodes, simplex iterations,
+// warm-start hit rate, solver wall time) broken out of the per-round
+// overhead it dominates.
 func Fig13(s Scale) (*Report, error) {
 	fp := footprint.NewModel(footprint.NoPerturbation)
 	t := &metrics.Table{
 		Title:  "WaterWise decision-making overhead (% of mean job execution time)",
 		Header: []string{"trace", "mean overhead", "p95 overhead", "max overhead", "rounds"},
+	}
+	st := &metrics.Table{
+		Title:  "WaterWise solver instrumentation (aggregate over all rounds)",
+		Header: []string{"trace", "rounds", "softened", "b&b nodes", "simplex iters", "warm-start hit", "solver wall"},
 	}
 	for _, tr := range []struct {
 		name string
@@ -548,13 +555,25 @@ func Fig13(s Scale) (*Report, error) {
 			fmt.Sprintf("%.4f%%", p95),
 			fmt.Sprintf("%.4f%%", mx),
 			fmt.Sprintf("%d", len(pct)))
+		rounds, softened := ww.Stats()
+		sv := ww.SolverStats()
+		st.AddRow(tr.name,
+			fmt.Sprintf("%d", rounds),
+			fmt.Sprintf("%d", softened),
+			fmt.Sprintf("%d", sv.Nodes),
+			fmt.Sprintf("%d", sv.SimplexIters),
+			fmt.Sprintf("%.1f%%", 100*sv.WarmStartHitRate()),
+			sv.Wall.Round(time.Microsecond).String())
 	}
 	return &Report{
 		ID: "fig13", Title: "Decision-making overhead",
-		Tables: []*metrics.Table{t},
+		Tables: []*metrics.Table{t, st},
 		Notes: []string{
 			"expected shape: overhead well below 1% of mean execution time;",
-			"the alibaba-like trace (8.5x rate) shows higher overhead than borg-like",
+			"the alibaba-like trace (8.5x rate) shows higher overhead than borg-like;",
+			"solver instrumentation: the scheduling MILP's assignment relaxation is",
+			"integral, so branch-and-bound terminates at the root node in almost",
+			"every round (warm starts only engage when branching happens)",
 		},
 	}, nil
 }

@@ -46,7 +46,7 @@ type Params struct {
 
 // Validate reports structural problems with the parameters.
 func (p Params) Validate() error {
-	if len(p.Base) == 0 {
+	if p.Base.Total() == 0 {
 		return fmt.Errorf("gridmix: empty base mix")
 	}
 	if t := p.Base.Total(); math.Abs(t-1) > 1e-6 {
@@ -90,7 +90,7 @@ func Generate(p Params, start time.Time, hours int, seed int64) (*Series, error)
 	windState := 0.0 // AR(1) innovation state, in units of relative deviation
 	for h := 0; h < hours; h++ {
 		t := start.Add(time.Duration(h) * time.Hour)
-		mix := make(energy.Mix, len(p.Base))
+		var mix energy.Mix
 
 		// Variable renewables.
 		solarBase := p.Base[energy.Solar]
@@ -117,8 +117,8 @@ func Generate(p Params, start time.Time, hours int, seed int64) (*Series, error)
 		// and therefore the whole series — are deterministic per seed.
 		fixed := 0.0
 		for _, src := range energy.AllSources() {
-			share, ok := p.Base[src]
-			if !ok || src == energy.Solar || src == energy.Wind || disp[src] {
+			share := p.Base[src]
+			if share == 0 || src == energy.Solar || src == energy.Wind || disp[src] {
 				continue
 			}
 			v := share * (1 + rng.Normal(0, p.ShareNoise))

@@ -1,4 +1,4 @@
-// Package lp implements a dense two-phase primal simplex solver for linear
+// Package lp implements a dense bounded-variable simplex solver for linear
 // programs. It is the foundation that internal/milp builds branch-and-bound
 // on, replacing the PuLP/GLPK stack used by the WaterWise paper.
 //
@@ -6,12 +6,20 @@
 //
 //   - minimization and maximization objectives,
 //   - <=, >=, and == constraints,
-//   - per-variable lower and upper bounds (upper bounds are materialized as
-//     explicit rows; lower bounds are shifted away),
-//   - infeasibility and unboundedness detection.
+//   - per-variable lower and upper bounds, enforced natively in the simplex
+//     ratio test (no constraint row per bound, so the tableau is O(m·n)
+//     in the number of constraints m rather than O((m+n)·n)),
+//   - infeasibility and unboundedness detection,
+//   - warm starts: a solved Problem exports its Basis, and after variable
+//     bound changes (branch-and-bound's only mutation) SolveWarm
+//     re-optimizes with the dual simplex in a handful of pivots instead of
+//     re-solving from scratch.
 //
 // It uses Dantzig pricing with an automatic switch to Bland's rule when an
-// iteration budget suggests cycling, which guarantees termination.
+// iteration budget suggests cycling, which guarantees termination. The
+// previous generation of this package — a two-phase tableau simplex that
+// materializes every upper bound as an explicit row — is retained in
+// reference.go as SolveReference, the oracle for differential tests.
 package lp
 
 import (
@@ -153,6 +161,10 @@ func (p *Problem) SetObjective(c []float64, sense Sense) error {
 	return nil
 }
 
+// ObjectiveCoef returns the objective coefficient of variable i in the
+// caller's sense.
+func (p *Problem) ObjectiveCoef(i int) float64 { return p.obj[i] }
+
 // SetBounds sets lo <= x[i] <= hi. Use math.Inf(1) for an unbounded upper.
 func (p *Problem) SetBounds(i int, lo, hi float64) error {
 	if i < 0 || i >= p.nvars {
@@ -169,6 +181,20 @@ func (p *Problem) SetBounds(i int, lo, hi float64) error {
 	return nil
 }
 
+// Bounds returns the current bounds of variable i.
+func (p *Problem) Bounds(i int) (lo, hi float64) { return p.lower[i], p.upper[i] }
+
+// ResetBounds replaces the bounds of every variable at once; branch-and-bound
+// workers use it to rebuild a node's box from the root bounds in one copy.
+func (p *Problem) ResetBounds(lo, hi []float64) error {
+	if len(lo) != p.nvars || len(hi) != p.nvars {
+		return fmt.Errorf("lp: ResetBounds got %d/%d bounds, want %d", len(lo), len(hi), p.nvars)
+	}
+	copy(p.lower, lo)
+	copy(p.upper, hi)
+	return nil
+}
+
 // AddConstraint appends a sparse constraint row and returns its index.
 func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) (int, error) {
 	for _, t := range terms {
@@ -182,8 +208,19 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) (int, error) {
 	return len(p.rows) - 1, nil
 }
 
+// SetRHS changes the right-hand side of constraint i in place. Round-to-round
+// model reuse (the WaterWise scheduler's capacity rows) updates RHS values
+// instead of rebuilding the whole problem.
+func (p *Problem) SetRHS(i int, rhs float64) error {
+	if i < 0 || i >= len(p.rows) {
+		return fmt.Errorf("lp: constraint %d out of range [0,%d)", i, len(p.rows))
+	}
+	p.rows[i].RHS = rhs
+	return nil
+}
+
 // Clone returns a deep copy of the problem; branch-and-bound uses this to
-// add branching bounds without disturbing the parent node.
+// tighten variable bounds without disturbing the parent node.
 func (p *Problem) Clone() *Problem {
 	q := &Problem{
 		nvars:  p.nvars,
@@ -207,334 +244,103 @@ type Solution struct {
 	Objective float64
 	X         []float64
 	Iters     int
+	// ReducedCosts holds the final reduced cost of every structural
+	// variable in minimization space (the internal sense; for Maximize
+	// problems multiply by -1 to recover the caller's sense). Nil unless
+	// the solve reached Optimal. Branch-and-bound uses these for
+	// reduced-cost fixing.
+	ReducedCosts []float64
+	// WarmStarted reports whether this solve reused a Basis instead of
+	// running the two-phase method from scratch.
+	WarmStarted bool
 }
 
-// Solve runs the two-phase simplex method and returns the solution. The
-// returned error is non-nil only for malformed problems; infeasible and
-// unbounded models are reported via Solution.Status.
-func (p *Problem) Solve() (*Solution, error) {
-	t, err := newTableau(p)
-	if err != nil {
-		return nil, err
+// Basis is a reusable snapshot of solver state: the final simplex tableau,
+// basis, column statuses, and reduced costs of a solved Problem. After the
+// problem's variable bounds change (the only mutation branch-and-bound
+// performs), SolveWarm restores optimality with a short dual-simplex run
+// instead of a from-scratch solve.
+//
+// A Basis is only meaningful for a Problem with the same constraints and
+// objective as the one that produced it; SolveWarm detects objective drift
+// (via dual infeasibility) and falls back to a cold solve. A Basis is not
+// safe for concurrent use; Clone one per worker.
+type Basis struct {
+	s *simplex
+}
+
+// NewBasis returns an empty basis: the first SolveWarm through it runs cold
+// and stores the resulting state.
+func NewBasis() *Basis { return &Basis{} }
+
+// Valid reports whether the basis holds reusable solver state.
+func (b *Basis) Valid() bool { return b != nil && b.s != nil }
+
+// Clone returns an independent deep copy of the basis.
+func (b *Basis) Clone() *Basis {
+	if !b.Valid() {
+		return &Basis{}
 	}
-	sol := t.run()
-	if p.sense == Maximize && (sol.Status == Optimal || sol.Status == IterLimit) {
-		sol.Objective = -sol.Objective
+	return &Basis{s: b.s.clone()}
+}
+
+// Solve runs the bounded-variable simplex from scratch and returns the
+// solution. The returned error is non-nil only for malformed problems;
+// infeasible and unbounded models are reported via Solution.Status.
+func (p *Problem) Solve() (*Solution, error) {
+	return p.SolveWarm(nil)
+}
+
+// SolveWarm solves the problem, reusing b when possible. A nil b (or an
+// empty one) runs the two-phase method cold; a valid b from a prior solve of
+// a structurally identical problem warm starts the dual simplex from the
+// stored basis. On return, a non-nil b holds the final state for the next
+// warm start.
+func (p *Problem) SolveWarm(b *Basis) (*Solution, error) {
+	var recycled *simplex
+	if b != nil && b.Valid() {
+		s := b.s
+		if s.nstruct == p.nvars && s.m == len(p.rows) && s.warmApply(p) {
+			st := s.solveWarm()
+			switch st {
+			case Optimal:
+				sol := s.extract(p)
+				sol.Status = Optimal
+				sol.WarmStarted = true
+				p.finishSense(sol)
+				return sol, nil
+			case Infeasible:
+				return &Solution{Status: Infeasible, Iters: s.iters, WarmStarted: true}, nil
+			}
+		}
+		// The stored state is stale (objective/RHS drift), the wrong
+		// shape, or mid-run after an iteration limit: useless as a warm
+		// start, but its allocations can back the cold solve.
+		recycled = b.s
+		b.s = nil
+	}
+	s := newSimplex(p, recycled)
+	st := s.solveCold()
+	sol := &Solution{Status: st, Iters: s.iters}
+	if st == Optimal || st == IterLimit {
+		ext := s.extract(p)
+		sol.Objective = ext.Objective
+		sol.X = ext.X
+		if st == Optimal {
+			sol.ReducedCosts = ext.ReducedCosts
+		}
+	}
+	p.finishSense(sol)
+	if b != nil && sol.Status == Optimal {
+		b.s = s
 	}
 	return sol, nil
 }
 
-// tableau is the dense simplex working state after conversion to standard
-// form: min c'y s.t. Ay = b, y >= 0, b >= 0.
-type tableau struct {
-	m, n    int         // rows, structural+slack columns (artificials follow)
-	a       [][]float64 // m x width coefficient matrix
-	b       []float64   // m
-	cost    []float64   // phase-2 cost over width columns
-	basis   []int       // basic column per row
-	width   int         // total columns incl. artificials
-	nArt    int
-	artBase int // first artificial column
-	eps     float64
-	maxIter int
-
-	nOrig int       // original structural variables
-	shift []float64 // lower-bound shifts for original variables
-	negC  bool      // objective was negated (Maximize)
-}
-
-func newTableau(p *Problem) (*tableau, error) {
-	// Shift lower bounds away: x = y + lo, y >= 0. Upper bounds become
-	// rows y <= hi - lo.
-	type row struct {
-		coefs []float64 // dense over original vars
-		op    Op
-		rhs   float64
+// finishSense converts the internal minimization objective back to the
+// caller's sense.
+func (p *Problem) finishSense(sol *Solution) {
+	if p.sense == Maximize && (sol.Status == Optimal || sol.Status == IterLimit) {
+		sol.Objective = -sol.Objective
 	}
-	rows := make([]row, 0, len(p.rows)+p.nvars)
-	for _, c := range p.rows {
-		dense := make([]float64, p.nvars)
-		rhs := c.RHS
-		for _, t := range c.Terms {
-			dense[t.Var] += t.Coef
-			rhs -= t.Coef * p.lower[t.Var]
-		}
-		rows = append(rows, row{coefs: dense, op: c.Op, rhs: rhs})
-	}
-	for i := 0; i < p.nvars; i++ {
-		if !math.IsInf(p.upper[i], 1) {
-			dense := make([]float64, p.nvars)
-			dense[i] = 1
-			rows = append(rows, row{coefs: dense, op: LE, rhs: p.upper[i] - p.lower[i]})
-		}
-	}
-
-	m := len(rows)
-	// Count slacks (one per LE/GE row) and artificials.
-	nSlack := 0
-	for _, r := range rows {
-		if r.op != EQ {
-			nSlack++
-		}
-	}
-	nOrig := p.nvars
-	n := nOrig + nSlack
-	width := n + m // reserve an artificial slot per row; unused ones stay zero
-	t := &tableau{
-		m: m, n: n, width: width,
-		a:       make([][]float64, m),
-		b:       make([]float64, m),
-		cost:    make([]float64, width),
-		basis:   make([]int, m),
-		artBase: n,
-		eps:     p.epsTol,
-		nOrig:   nOrig,
-		shift:   append([]float64(nil), p.lower...),
-	}
-	for i := range t.a {
-		t.a[i] = make([]float64, width)
-	}
-
-	objSign := 1.0
-	if p.sense == Maximize {
-		objSign = -1.0
-		t.negC = true
-	}
-	for j := 0; j < nOrig; j++ {
-		t.cost[j] = objSign * p.obj[j]
-	}
-
-	slack := nOrig
-	for i, r := range rows {
-		sign := 1.0
-		if r.rhs < 0 {
-			sign = -1.0
-		}
-		for j, v := range r.coefs {
-			t.a[i][j] = sign * v
-		}
-		t.b[i] = sign * r.rhs
-		switch r.op {
-		case LE:
-			t.a[i][slack] = sign * 1
-			if sign > 0 {
-				t.basis[i] = slack
-			} else {
-				t.basis[i] = -1 // needs artificial
-			}
-			slack++
-		case GE:
-			t.a[i][slack] = sign * -1
-			if sign < 0 {
-				t.basis[i] = slack
-			} else {
-				t.basis[i] = -1
-			}
-			slack++
-		case EQ:
-			t.basis[i] = -1
-		}
-	}
-	// Install artificials where no natural basic column exists.
-	for i := range t.basis {
-		if t.basis[i] == -1 {
-			col := t.artBase + t.nArt
-			t.a[i][col] = 1
-			t.basis[i] = col
-			t.nArt++
-		}
-	}
-	// Trim unused artificial columns from the pricing range.
-	t.width = t.artBase + t.nArt
-
-	// Iteration budget: generous polynomial in problem size.
-	t.maxIter = 200 * (t.m + t.width + 10)
-	if p.maxIt > 0 {
-		t.maxIter = p.maxIt
-	}
-	return t, nil
-}
-
-// run performs phase 1 (if artificials exist) and phase 2, returning the
-// solution mapped back to original variable space.
-func (t *tableau) run() *Solution {
-	iters := 0
-	if t.nArt > 0 {
-		phase1 := make([]float64, t.width)
-		for j := t.artBase; j < t.artBase+t.nArt; j++ {
-			phase1[j] = 1
-		}
-		st, it := t.simplex(phase1, t.width)
-		iters += it
-		if st == IterLimit {
-			return &Solution{Status: IterLimit, Iters: iters}
-		}
-		if st == Unbounded {
-			// Phase-1 objective is bounded below by 0; unbounded here means
-			// numerical trouble. Treat as infeasible to stay safe.
-			return &Solution{Status: Infeasible, Iters: iters}
-		}
-		if t.objectiveValue(phase1) > 1e-7 {
-			return &Solution{Status: Infeasible, Iters: iters}
-		}
-		t.driveOutArtificials()
-	}
-	// Phase 2 prices only non-artificial columns so artificials can never
-	// re-enter the basis and re-violate the original constraints.
-	st, it := t.simplex(t.cost[:t.width], t.artBase)
-	iters += it
-	sol := &Solution{Status: st, Iters: iters}
-	if st == Optimal || st == IterLimit {
-		x := make([]float64, t.nOrig)
-		for i, bi := range t.basis {
-			if bi < t.nOrig {
-				x[bi] = t.b[i]
-			}
-		}
-		for j := range x {
-			x[j] += t.shift[j]
-		}
-		sol.X = x
-		obj := 0.0
-		for j := 0; j < t.nOrig; j++ {
-			obj += t.cost[j] * x[j]
-		}
-		sol.Objective = obj
-	}
-	return sol
-}
-
-// objectiveValue computes c'x_B for the current basis under cost vector c.
-func (t *tableau) objectiveValue(c []float64) float64 {
-	v := 0.0
-	for i, bi := range t.basis {
-		v += c[bi] * t.b[i]
-	}
-	return v
-}
-
-// driveOutArtificials pivots basic artificial variables (at value zero after
-// a successful phase 1) out of the basis, or marks their rows redundant.
-func (t *tableau) driveOutArtificials() {
-	for i := 0; i < t.m; i++ {
-		if t.basis[i] < t.artBase {
-			continue
-		}
-		// Find a non-artificial column with a nonzero entry in this row.
-		pivotCol := -1
-		for j := 0; j < t.artBase; j++ {
-			if math.Abs(t.a[i][j]) > t.eps {
-				pivotCol = j
-				break
-			}
-		}
-		if pivotCol >= 0 {
-			t.pivot(i, pivotCol)
-		}
-		// Otherwise the row is redundant (all zeros); the artificial stays
-		// basic at value 0, harmless because its phase-2 cost is +inf-like:
-		// we give artificials a prohibitive cost so they never re-enter.
-	}
-	// Forbid artificials from re-entering in phase 2.
-	for j := t.artBase; j < t.width; j++ {
-		t.cost[j] = 0 // basic-at-zero artificials contribute nothing
-	}
-}
-
-// simplex optimizes cost vector c over the current tableau, pricing only
-// columns j < limit (phase 2 excludes artificial columns this way). It
-// returns the status and the number of pivots performed.
-//
-// A reduced-cost row is maintained incrementally so pricing is O(limit) per
-// iteration instead of O(m*width).
-func (t *tableau) simplex(c []float64, limit int) (Status, int) {
-	z := make([]float64, t.width)
-	copy(z, c)
-	for i := 0; i < t.m; i++ {
-		cb := c[t.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		ai := t.a[i]
-		for j := 0; j < t.width; j++ {
-			z[j] -= cb * ai[j]
-		}
-	}
-	blandAfter := t.maxIter / 2
-	for iter := 0; iter < t.maxIter; iter++ {
-		// Pricing.
-		enter := -1
-		best := -t.eps
-		useBland := iter >= blandAfter
-		for j := 0; j < limit; j++ {
-			if rc := z[j]; rc < -t.eps {
-				if useBland {
-					enter = j
-					break
-				}
-				if rc < best {
-					best = rc
-					enter = j
-				}
-			}
-		}
-		if enter == -1 {
-			return Optimal, iter
-		}
-		// Ratio test with Bland-style smallest-basis-index tie breaking.
-		leave := -1
-		minRatio := math.Inf(1)
-		for i := 0; i < t.m; i++ {
-			if t.a[i][enter] > t.eps {
-				r := t.b[i] / t.a[i][enter]
-				if r < minRatio-t.eps || (math.Abs(r-minRatio) <= t.eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
-					minRatio = r
-					leave = i
-				}
-			}
-		}
-		if leave == -1 {
-			return Unbounded, iter
-		}
-		zEnter := z[enter]
-		t.pivot(leave, enter)
-		// Update the reduced-cost row against the normalized pivot row.
-		prow := t.a[leave]
-		for j := 0; j < t.width; j++ {
-			z[j] -= zEnter * prow[j]
-		}
-		z[enter] = 0 // exact
-	}
-	return IterLimit, t.maxIter
-}
-
-// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
-func (t *tableau) pivot(row, col int) {
-	pv := t.a[row][col]
-	inv := 1 / pv
-	arow := t.a[row]
-	for j := 0; j < t.width; j++ {
-		arow[j] *= inv
-	}
-	t.b[row] *= inv
-	arow[col] = 1 // exact
-	for i := 0; i < t.m; i++ {
-		if i == row {
-			continue
-		}
-		f := t.a[i][col]
-		if f == 0 {
-			continue
-		}
-		ai := t.a[i]
-		for j := 0; j < t.width; j++ {
-			ai[j] -= f * arow[j]
-		}
-		ai[col] = 0 // exact
-		t.b[i] -= f * t.b[row]
-		if t.b[i] < 0 && t.b[i] > -1e-11 {
-			t.b[i] = 0
-		}
-	}
-	t.basis[row] = col
 }

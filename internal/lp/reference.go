@@ -1,0 +1,330 @@
+package lp
+
+import "math"
+
+// SolveReference solves p with the previous generation of this package: a
+// dense two-phase primal simplex that shifts lower bounds away and
+// materializes every finite upper bound as an explicit constraint row. It is
+// kept solely as a slow, independently derived oracle for differential tests
+// of the bounded-variable solver (and for anyone bisecting a numerical
+// discrepancy); production code should call Solve.
+func SolveReference(p *Problem) (*Solution, error) {
+	t := newRefTableau(p)
+	sol := t.run()
+	if p.sense == Maximize && (sol.Status == Optimal || sol.Status == IterLimit) {
+		sol.Objective = -sol.Objective
+	}
+	return sol, nil
+}
+
+// refTableau is the dense simplex working state after conversion to standard
+// form: min c'y s.t. Ay = b, y >= 0, b >= 0.
+type refTableau struct {
+	m, n    int         // rows, structural+slack columns (artificials follow)
+	a       [][]float64 // m x width coefficient matrix
+	b       []float64   // m
+	cost    []float64   // phase-2 cost over width columns
+	basis   []int       // basic column per row
+	width   int         // total columns incl. artificials
+	nArt    int
+	artBase int // first artificial column
+	eps     float64
+	maxIter int
+
+	nOrig int       // original structural variables
+	shift []float64 // lower-bound shifts for original variables
+}
+
+func newRefTableau(p *Problem) *refTableau {
+	// Shift lower bounds away: x = y + lo, y >= 0. Upper bounds become
+	// rows y <= hi - lo.
+	type row struct {
+		coefs []float64 // dense over original vars
+		op    Op
+		rhs   float64
+	}
+	rows := make([]row, 0, len(p.rows)+p.nvars)
+	for _, c := range p.rows {
+		dense := make([]float64, p.nvars)
+		rhs := c.RHS
+		for _, t := range c.Terms {
+			dense[t.Var] += t.Coef
+			rhs -= t.Coef * p.lower[t.Var]
+		}
+		rows = append(rows, row{coefs: dense, op: c.Op, rhs: rhs})
+	}
+	for i := 0; i < p.nvars; i++ {
+		if !math.IsInf(p.upper[i], 1) {
+			dense := make([]float64, p.nvars)
+			dense[i] = 1
+			rows = append(rows, row{coefs: dense, op: LE, rhs: p.upper[i] - p.lower[i]})
+		}
+	}
+
+	m := len(rows)
+	// Count slacks (one per LE/GE row) and artificials.
+	nSlack := 0
+	for _, r := range rows {
+		if r.op != EQ {
+			nSlack++
+		}
+	}
+	nOrig := p.nvars
+	n := nOrig + nSlack
+	width := n + m // reserve an artificial slot per row; unused ones stay zero
+	t := &refTableau{
+		m: m, n: n, width: width,
+		a:       make([][]float64, m),
+		b:       make([]float64, m),
+		cost:    make([]float64, width),
+		basis:   make([]int, m),
+		artBase: n,
+		eps:     p.epsTol,
+		nOrig:   nOrig,
+		shift:   append([]float64(nil), p.lower...),
+	}
+	for i := range t.a {
+		t.a[i] = make([]float64, width)
+	}
+
+	objSign := 1.0
+	if p.sense == Maximize {
+		objSign = -1.0
+	}
+	for j := 0; j < nOrig; j++ {
+		t.cost[j] = objSign * p.obj[j]
+	}
+
+	slack := nOrig
+	for i, r := range rows {
+		sign := 1.0
+		if r.rhs < 0 {
+			sign = -1.0
+		}
+		for j, v := range r.coefs {
+			t.a[i][j] = sign * v
+		}
+		t.b[i] = sign * r.rhs
+		switch r.op {
+		case LE:
+			t.a[i][slack] = sign * 1
+			if sign > 0 {
+				t.basis[i] = slack
+			} else {
+				t.basis[i] = -1 // needs artificial
+			}
+			slack++
+		case GE:
+			t.a[i][slack] = sign * -1
+			if sign < 0 {
+				t.basis[i] = slack
+			} else {
+				t.basis[i] = -1
+			}
+			slack++
+		case EQ:
+			t.basis[i] = -1
+		}
+	}
+	// Install artificials where no natural basic column exists.
+	for i := range t.basis {
+		if t.basis[i] == -1 {
+			col := t.artBase + t.nArt
+			t.a[i][col] = 1
+			t.basis[i] = col
+			t.nArt++
+		}
+	}
+	// Trim unused artificial columns from the pricing range.
+	t.width = t.artBase + t.nArt
+
+	// Iteration budget: generous polynomial in problem size.
+	t.maxIter = 200 * (t.m + t.width + 10)
+	if p.maxIt > 0 {
+		t.maxIter = p.maxIt
+	}
+	return t
+}
+
+// run performs phase 1 (if artificials exist) and phase 2, returning the
+// solution mapped back to original variable space.
+func (t *refTableau) run() *Solution {
+	iters := 0
+	if t.nArt > 0 {
+		phase1 := make([]float64, t.width)
+		for j := t.artBase; j < t.artBase+t.nArt; j++ {
+			phase1[j] = 1
+		}
+		st, it := t.simplex(phase1, t.width)
+		iters += it
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iters: iters}
+		}
+		if st == Unbounded {
+			// Phase-1 objective is bounded below by 0; unbounded here means
+			// numerical trouble. Treat as infeasible to stay safe.
+			return &Solution{Status: Infeasible, Iters: iters}
+		}
+		if t.objectiveValue(phase1) > 1e-7 {
+			return &Solution{Status: Infeasible, Iters: iters}
+		}
+		t.driveOutArtificials()
+	}
+	// Phase 2 prices only non-artificial columns so artificials can never
+	// re-enter the basis and re-violate the original constraints.
+	st, it := t.simplex(t.cost[:t.width], t.artBase)
+	iters += it
+	sol := &Solution{Status: st, Iters: iters}
+	if st == Optimal || st == IterLimit {
+		x := make([]float64, t.nOrig)
+		for i, bi := range t.basis {
+			if bi < t.nOrig {
+				x[bi] = t.b[i]
+			}
+		}
+		for j := range x {
+			x[j] += t.shift[j]
+		}
+		sol.X = x
+		obj := 0.0
+		for j := 0; j < t.nOrig; j++ {
+			obj += t.cost[j] * x[j]
+		}
+		sol.Objective = obj
+	}
+	return sol
+}
+
+// objectiveValue computes c'x_B for the current basis under cost vector c.
+func (t *refTableau) objectiveValue(c []float64) float64 {
+	v := 0.0
+	for i, bi := range t.basis {
+		v += c[bi] * t.b[i]
+	}
+	return v
+}
+
+// driveOutArtificials pivots basic artificial variables (at value zero after
+// a successful phase 1) out of the basis, or marks their rows redundant.
+func (t *refTableau) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.artBase {
+			continue
+		}
+		// Find a non-artificial column with a nonzero entry in this row.
+		pivotCol := -1
+		for j := 0; j < t.artBase; j++ {
+			if math.Abs(t.a[i][j]) > t.eps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+		}
+		// Otherwise the row is redundant (all zeros); the artificial stays
+		// basic at value 0, harmless because its phase-2 cost is zero and
+		// it is excluded from phase-2 pricing.
+	}
+	for j := t.artBase; j < t.width; j++ {
+		t.cost[j] = 0 // basic-at-zero artificials contribute nothing
+	}
+}
+
+// simplex optimizes cost vector c over the current tableau, pricing only
+// columns j < limit (phase 2 excludes artificial columns this way). It
+// returns the status and the number of pivots performed.
+//
+// A reduced-cost row is maintained incrementally so pricing is O(limit) per
+// iteration instead of O(m*width).
+func (t *refTableau) simplex(c []float64, limit int) (Status, int) {
+	z := make([]float64, t.width)
+	copy(z, c)
+	for i := 0; i < t.m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := 0; j < t.width; j++ {
+			z[j] -= cb * ai[j]
+		}
+	}
+	blandAfter := t.maxIter / 2
+	for iter := 0; iter < t.maxIter; iter++ {
+		// Pricing.
+		enter := -1
+		best := -t.eps
+		useBland := iter >= blandAfter
+		for j := 0; j < limit; j++ {
+			if rc := z[j]; rc < -t.eps {
+				if useBland {
+					enter = j
+					break
+				}
+				if rc < best {
+					best = rc
+					enter = j
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal, iter
+		}
+		// Ratio test with Bland-style smallest-basis-index tie breaking.
+		leave := -1
+		minRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > t.eps {
+				r := t.b[i] / t.a[i][enter]
+				if r < minRatio-t.eps || (math.Abs(r-minRatio) <= t.eps && (leave == -1 || t.basis[i] < t.basis[leave])) {
+					minRatio = r
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return Unbounded, iter
+		}
+		zEnter := z[enter]
+		t.pivot(leave, enter)
+		// Update the reduced-cost row against the normalized pivot row.
+		prow := t.a[leave]
+		for j := 0; j < t.width; j++ {
+			z[j] -= zEnter * prow[j]
+		}
+		z[enter] = 0 // exact
+	}
+	return IterLimit, t.maxIter
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col) and updates the basis.
+func (t *refTableau) pivot(row, col int) {
+	pv := t.a[row][col]
+	inv := 1 / pv
+	arow := t.a[row]
+	for j := 0; j < t.width; j++ {
+		arow[j] *= inv
+	}
+	t.b[row] *= inv
+	arow[col] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := 0; j < t.width; j++ {
+			ai[j] -= f * arow[j]
+		}
+		ai[col] = 0 // exact
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	t.basis[row] = col
+}

@@ -1,0 +1,834 @@
+package lp
+
+import "math"
+
+// Column statuses of the bounded-variable simplex. Every column is either
+// basic or sits at one of its finite bounds; columns with lo == hi are
+// "fixed" and never priced.
+const (
+	statLower int8 = iota // nonbasic at lower bound
+	statUpper             // nonbasic at upper bound
+	statBasic
+	statFixed // nonbasic with lo == hi: never priced, value is lo
+)
+
+// simplex is the dense bounded-variable simplex engine. Unlike the reference
+// tableau (reference.go), variable bounds are enforced directly in the ratio
+// test rather than materialized as constraint rows, so the tableau has one
+// row per *constraint* only: O(m·n) instead of O((m+n)·n) for the WaterWise
+// scheduling MILP where every assignment variable is bounded.
+//
+// The whole struct is a reusable Basis: after a solve it holds the final
+// tableau (B⁻¹A), transformed RHS (B⁻¹b, bounds-independent), basis, column
+// statuses, and reduced costs — everything a dual-simplex warm start needs
+// after a bound change.
+type simplex struct {
+	m       int // constraint rows
+	nstruct int // structural columns (the Problem's variables)
+	nreal   int // structural + slack columns
+	width   int // + artificial columns
+	awidth  int // active width for row operations: width during phase 1,
+	// then nreal once artificials are frozen (their columns go stale but
+	// are never read again)
+	stride int // row stride of a
+
+	a      []float64 // m x width tableau, flat, row-major (current B⁻¹A)
+	btab   []float64 // m: current B⁻¹b (independent of variable bounds)
+	lo, hi []float64 // width: column bounds (slacks: [0,inf) / (-inf,0] / [0,0])
+	cost   []float64 // width: minimization-space costs (artificials 0)
+	z      []float64 // width: reduced costs of the active phase
+	basis  []int     // m: basic column of each row
+	status []int8    // width: statLower/statUpper/statBasic
+	xB     []float64 // m: current value of each basic variable
+	rhs0   []float64 // m: original row RHS at construction (drift check)
+
+	eps     float64
+	maxIter int
+	iters   int // pivots + bound flips across all phases
+}
+
+const (
+	feasTol = 1e-7 // primal feasibility tolerance on basic values
+	dualTol = 1e-7 // dual feasibility tolerance on reduced costs
+)
+
+func inf() float64 { return math.Inf(1) }
+
+// newSimplex builds the initial tableau for p in minimization space.
+// Slack layout: one slack per LE/GE row (LE: [0,+inf), GE: (-inf,0], both
+// with +1 coefficients), none for EQ rows. Rows whose slack cannot serve as
+// the initial basic variable get an artificial column instead.
+// recycled may carry a same-shape engine whose allocations can be reused
+// (the round-to-round path of the scheduler: objective and RHS change, so
+// the basis is useless, but the arrays are not). Only the tableau needs
+// zeroing; every other slot is overwritten during construction.
+func newSimplex(p *Problem, recycled *simplex) *simplex {
+	m := len(p.rows)
+	nstruct := p.nvars
+	nSlack := 0
+	for _, r := range p.rows {
+		if r.Op != EQ {
+			nSlack++
+		}
+	}
+	nreal := nstruct + nSlack
+	maxWidth := nreal + m // worst case: artificial in every row
+	var s *simplex
+	if recycled != nil && recycled.m == m && recycled.stride == maxWidth && recycled.nstruct == nstruct {
+		s = recycled
+		clear(s.a)
+		s.nreal = nreal
+		s.eps = p.epsTol
+		s.iters = 0
+	} else {
+		s = &simplex{
+			m: m, nstruct: nstruct, nreal: nreal, stride: maxWidth,
+			a:      make([]float64, m*maxWidth),
+			btab:   make([]float64, m),
+			lo:     make([]float64, maxWidth),
+			hi:     make([]float64, maxWidth),
+			cost:   make([]float64, maxWidth),
+			z:      make([]float64, maxWidth),
+			basis:  make([]int, m),
+			status: make([]int8, maxWidth),
+			xB:     make([]float64, m),
+			rhs0:   make([]float64, m),
+			eps:    p.epsTol,
+		}
+	}
+	copy(s.lo, p.lower)
+	copy(s.hi, p.upper)
+	objSign := 1.0
+	if p.sense == Maximize {
+		objSign = -1
+	}
+	for j := 0; j < nstruct; j++ {
+		s.cost[j] = objSign * p.obj[j]
+		if p.lower[j] == p.upper[j] {
+			s.status[j] = statFixed
+		} else {
+			s.status[j] = statLower // structural lower bounds are always finite
+		}
+	}
+
+	// Pass 1: fill rows and slacks, compute each row's residual at the
+	// all-at-lower-bound point, and make slacks basic wherever that is
+	// feasible. Rows whose slack cannot absorb the residual (and EQ rows)
+	// stay pending: basis[i] == -1.
+	resid := make([]float64, m)
+	slack := nstruct
+	for i, r := range p.rows {
+		ai := s.a[i*s.stride:]
+		rr := r.RHS
+		for _, t := range r.Terms {
+			ai[t.Var] += t.Coef
+			rr -= t.Coef * s.lo[t.Var] // linear, so duplicates sum correctly
+		}
+		s.basis[i] = -1
+		switch r.Op {
+		case LE:
+			ai[slack] = 1
+			s.lo[slack], s.hi[slack] = 0, inf()
+			if rr >= 0 {
+				s.basis[i] = slack
+				s.status[slack] = statBasic
+				s.xB[i] = rr
+			} else {
+				s.status[slack] = statLower
+			}
+			slack++
+		case GE:
+			ai[slack] = 1
+			s.lo[slack], s.hi[slack] = math.Inf(-1), 0
+			if rr <= 0 {
+				s.basis[i] = slack
+				s.status[slack] = statBasic
+				s.xB[i] = rr
+			} else {
+				s.status[slack] = statUpper
+			}
+			slack++
+		}
+		resid[i] = rr
+		s.btab[i] = r.RHS
+		s.rhs0[i] = r.RHS
+	}
+
+	// Pass 2: triangular crash — give pending rows a structural basic
+	// column when that keeps the start primal feasible, avoiding both an
+	// artificial variable and its phase-1 work. Cost-greedy selection means
+	// e.g. an assignment row starts on its cheapest eligible variable, so
+	// phase 2 begins near the optimum.
+	s.crash(p, resid)
+
+	// Pass 3: artificials for rows the crash could not cover.
+	art := nreal
+	for i := range p.rows {
+		if s.basis[i] != -1 {
+			continue
+		}
+		ai := s.a[i*s.stride:]
+		rr := resid[i]
+		if rr < 0 {
+			// Normalize so the artificial's coefficient is +1 and its
+			// initial value nonnegative: basic columns must be unit columns
+			// for the reduced-cost and warm-start identities.
+			for j := 0; j < nreal; j++ {
+				ai[j] = -ai[j]
+			}
+			s.btab[i] = -s.btab[i]
+			rr = -rr
+		}
+		ai[art] = 1
+		s.lo[art], s.hi[art] = 0, inf()
+		s.basis[i] = art
+		s.status[art] = statBasic
+		s.xB[i] = rr
+		art++
+	}
+	s.width = art
+	s.awidth = art
+	s.maxIter = 200 * (s.m + s.width + 10)
+	if p.maxIt > 0 {
+		s.maxIter = p.maxIt
+	}
+	return s
+}
+
+// crash assigns structural basic columns to pending rows (basis[i] == -1)
+// when a column exists whose only other nonzeros sit in slack-basic rows
+// with enough slack room — a triangular structure, so each assignment is a
+// two-or-three-row elimination, never disturbs other pending rows, and
+// keeps the start primal feasible. For the WaterWise scheduling MILP this
+// covers every Eq. 9 assignment row, eliminating phase 1 outright.
+//
+// Column occupancy is read from a sparse column index built off the original
+// rows; columns that received fill-in from an earlier elimination are marked
+// dirty and fall back to a dense tableau scan.
+func (s *simplex) crash(p *Problem, resid []float64) {
+	// Sparse column index over the original constraint matrix (counting
+	// sort layout: colRows[colStart[j]:colStart[j+1]] lists j's rows).
+	nnz := 0
+	for _, r := range p.rows {
+		nnz += len(r.Terms)
+	}
+	colStart := make([]int, s.nstruct+1)
+	for _, r := range p.rows {
+		for _, t := range r.Terms {
+			colStart[t.Var+1]++
+		}
+	}
+	for j := 0; j < s.nstruct; j++ {
+		colStart[j+1] += colStart[j]
+	}
+	colRows := make([]int32, nnz)
+	fill := append([]int(nil), colStart[:s.nstruct]...)
+	for i, r := range p.rows {
+		for _, t := range r.Terms {
+			colRows[fill[t.Var]] = int32(i)
+			fill[t.Var]++
+		}
+	}
+	dirty := make([]bool, s.nstruct)
+	inNZ := make([]bool, s.nreal) // scratch for installCrash dedup
+	// Slack column of each row (-1 for EQ rows).
+	rowSlack := make([]int, s.m)
+	sc := s.nstruct
+	for i, r := range p.rows {
+		if r.Op == EQ {
+			rowSlack[i] = -1
+		} else {
+			rowSlack[i] = sc
+			sc++
+		}
+	}
+
+	for r := range p.rows {
+		if s.basis[r] != -1 {
+			continue
+		}
+		arow := s.a[r*s.stride:]
+		bestJ := -1
+		var bestScore, bestDelta float64
+		for _, term := range p.rows[r].Terms {
+			j := term.Var
+			if s.status[j] != statLower && s.status[j] != statUpper {
+				continue
+			}
+			arj := arow[j]
+			if math.Abs(arj) < 0.125 { // pivot stability threshold
+				continue
+			}
+			delta := resid[r] / arj
+			v := s.lo[j] + delta
+			if v < s.lo[j] || v > s.hi[j] {
+				continue
+			}
+			ok := true
+			if dirty[j] {
+				// Fill-in possible: scan the live tableau column.
+				for i := 0; i < s.m; i++ {
+					if i == r {
+						continue
+					}
+					aij := s.a[i*s.stride+j]
+					if aij == 0 {
+						continue
+					}
+					if !s.crashRowOK(i, aij, delta) {
+						ok = false
+						break
+					}
+				}
+			} else {
+				for _, i32 := range colRows[colStart[j]:colStart[j+1]] {
+					i := int(i32)
+					if i == r {
+						continue
+					}
+					aij := s.a[i*s.stride+j]
+					if aij == 0 {
+						continue
+					}
+					if !s.crashRowOK(i, aij, delta) {
+						ok = false
+						break
+					}
+				}
+			}
+			if !ok {
+				continue
+			}
+			score := s.cost[j] * delta
+			if bestJ == -1 || score < bestScore-1e-12 {
+				bestJ, bestScore, bestDelta = j, score, delta
+			}
+		}
+		if bestJ == -1 {
+			continue // pass 3 installs an artificial
+		}
+		s.installCrash(p, r, bestJ, bestDelta, rowSlack[r], dirty, inNZ)
+	}
+}
+
+// crashRowOK checks that making the candidate basic keeps row i's basic
+// slack inside its bounds. Rows whose basic is pending (-1) or structural
+// (an earlier crash) are ineligible.
+func (s *simplex) crashRowOK(i int, aij, delta float64) bool {
+	bi := s.basis[i]
+	if bi < s.nstruct {
+		return false
+	}
+	nv := s.xB[i] - aij*delta
+	return nv >= s.lo[bi]-1e-9 && nv <= s.hi[bi]+1e-9
+}
+
+// installCrash makes column j basic in pending row r via a sparse
+// elimination (only j's slack-basic rows are touched), moving j from its
+// lower bound by delta. Pending rows are never modified, so row r still has
+// its original sparsity: only its terms and its slack column need row
+// operations. Every column of row r picks up fill-in in the eliminated
+// rows and is marked dirty.
+func (s *simplex) installCrash(p *Problem, r, j int, delta float64, slackCol int, dirty, inNZ []bool) {
+	// Nonzero columns of row r: its sparse terms (deduplicated — a row may
+	// repeat a variable) plus its slack (EQ rows have none).
+	nz := make([]int, 0, len(p.rows[r].Terms)+1)
+	for _, t := range p.rows[r].Terms {
+		if inNZ[t.Var] {
+			continue
+		}
+		inNZ[t.Var] = true
+		nz = append(nz, t.Var)
+		dirty[t.Var] = true
+	}
+	if slackCol >= 0 {
+		nz = append(nz, slackCol)
+	}
+	defer func() {
+		for _, k := range nz {
+			if k < len(inNZ) {
+				inNZ[k] = false
+			}
+		}
+	}()
+	prow := s.a[r*s.stride:]
+	inv := 1 / prow[j]
+	for _, k := range nz {
+		prow[k] *= inv
+	}
+	prow[j] = 1 // exact
+	s.btab[r] *= inv
+	for i := 0; i < s.m; i++ {
+		if i == r {
+			continue
+		}
+		ai := s.a[i*s.stride:]
+		f := ai[j]
+		if f == 0 {
+			continue
+		}
+		for _, k := range nz {
+			ai[k] -= f * prow[k]
+		}
+		ai[j] = 0 // exact
+		s.btab[i] -= f * s.btab[r]
+		s.xB[i] -= f * delta
+	}
+	s.basis[r] = j
+	s.status[j] = statBasic
+	s.xB[r] = s.lo[j] + delta
+}
+
+
+// nbVal returns the current value of nonbasic column j.
+func (s *simplex) nbVal(j int) float64 {
+	if s.status[j] == statUpper {
+		return s.hi[j]
+	}
+	return s.lo[j]
+}
+
+// computeZ resets the reduced-cost row for cost vector c:
+// z = c - c_B·(B⁻¹A), exploiting that basic columns of the tableau are unit.
+func (s *simplex) computeZ(c []float64) {
+	copy(s.z, c[:s.awidth])
+	for i := 0; i < s.m; i++ {
+		cb := c[s.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		ai := s.a[i*s.stride:]
+		for j := 0; j < s.awidth; j++ {
+			s.z[j] -= cb * ai[j]
+		}
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col), updating the tableau,
+// transformed RHS, reduced costs, basis, and statuses. enterVal is the value
+// the entering column takes; the leaving column's new status is leaveStat.
+func (s *simplex) pivot(row, col int, enterVal float64, leaveStat int8) {
+	prow := s.a[row*s.stride:]
+	invPv := 1 / prow[col]
+	for j := 0; j < s.awidth; j++ {
+		prow[j] *= invPv
+	}
+	prow[col] = 1 // exact
+	s.btab[row] *= invPv
+	for i := 0; i < s.m; i++ {
+		if i == row {
+			continue
+		}
+		ai := s.a[i*s.stride:]
+		f := ai[col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j < s.awidth; j++ {
+			ai[j] -= f * prow[j]
+		}
+		ai[col] = 0 // exact
+		s.btab[i] -= f * s.btab[row]
+	}
+	zE := s.z[col]
+	if zE != 0 {
+		for j := 0; j < s.awidth; j++ {
+			s.z[j] -= zE * prow[j]
+		}
+	}
+	s.z[col] = 0 // exact
+	s.status[s.basis[row]] = leaveStat
+	s.basis[row] = col
+	s.status[col] = statBasic
+	s.xB[row] = enterVal
+}
+
+// primal runs the bounded-variable primal simplex to optimality of the
+// current z (which must correspond to cost vector c via computeZ). priceLim
+// restricts entering candidates to columns < priceLim (phase 2 excludes
+// artificials this way; their bounds are also fixed to [0,0]).
+func (s *simplex) primal(priceLim int) Status {
+	blandAfter := s.maxIter / 2
+	for ; s.iters < s.maxIter; s.iters++ {
+		useBland := s.iters >= blandAfter
+		enter, dir := -1, 1.0
+		best := s.eps
+		for j := 0; j < priceLim; j++ {
+			st := s.status[j]
+			var score float64
+			if st == statLower && s.z[j] < -s.eps {
+				score = -s.z[j]
+			} else if st == statUpper && s.z[j] > s.eps {
+				score = s.z[j]
+			} else {
+				continue
+			}
+			if useBland {
+				enter = j
+				if st == statUpper {
+					dir = -1
+				} else {
+					dir = 1
+				}
+				break
+			}
+			if score > best {
+				best = score
+				enter = j
+				if st == statUpper {
+					dir = -1
+				} else {
+					dir = 1
+				}
+			}
+		}
+		if enter == -1 {
+			return Optimal
+		}
+
+		// Ratio test: the entering variable moves by t >= 0 in direction
+		// dir, limited by its own opposite bound and by basic variables
+		// hitting theirs.
+		tBound := s.hi[enter] - s.lo[enter] // +inf when unbounded above
+		rowT := inf()
+		leave, leaveAtUpper := -1, false
+		col := enter
+		for i := 0; i < s.m; i++ {
+			alpha := dir * s.a[i*s.stride+col]
+			var r float64
+			var atUpper bool
+			if alpha > s.eps {
+				l := s.lo[s.basis[i]]
+				if math.IsInf(l, -1) {
+					continue
+				}
+				r = (s.xB[i] - l) / alpha
+			} else if alpha < -s.eps {
+				u := s.hi[s.basis[i]]
+				if math.IsInf(u, 1) {
+					continue
+				}
+				r = (u - s.xB[i]) / -alpha
+				atUpper = true
+			} else {
+				continue
+			}
+			if r < 0 {
+				r = 0 // numerical: basic value marginally out of bounds
+			}
+			if r < rowT-s.eps || (r <= rowT+s.eps && (leave == -1 || s.basis[i] < s.basis[leave])) {
+				if r < rowT {
+					rowT = r
+				}
+				leave = i
+				leaveAtUpper = atUpper
+			}
+		}
+		if math.IsInf(tBound, 1) && leave == -1 {
+			return Unbounded
+		}
+		if tBound < rowT {
+			// Bound flip: the entering variable traverses to its other
+			// bound without any basis change.
+			for i := 0; i < s.m; i++ {
+				s.xB[i] -= dir * tBound * s.a[i*s.stride+col]
+			}
+			if s.status[enter] == statLower {
+				s.status[enter] = statUpper
+			} else {
+				s.status[enter] = statLower
+			}
+			continue
+		}
+		t := rowT
+		enterVal := s.nbVal(enter) + dir*t
+		for i := 0; i < s.m; i++ {
+			if i != leave {
+				s.xB[i] -= dir * t * s.a[i*s.stride+col]
+			}
+		}
+		leaveStat := statLower
+		if leaveAtUpper {
+			leaveStat = statUpper
+		}
+		s.pivot(leave, enter, enterVal, leaveStat)
+	}
+	return IterLimit
+}
+
+// dual runs the dual simplex until primal feasibility is restored (returns
+// Optimal), the problem is proven primal-infeasible, or the iteration budget
+// runs out. It requires the current point to be dual feasible (z consistent
+// with the column statuses), which holds after any bound change to an
+// optimal basis because bounds enter neither z nor the tableau.
+func (s *simplex) dual(priceLim int) Status {
+	for ; s.iters < s.maxIter; s.iters++ {
+		// Leaving row: largest bound violation among basic variables.
+		row := -1
+		below := false
+		worst := feasTol
+		for i := 0; i < s.m; i++ {
+			bi := s.basis[i]
+			if v := s.lo[bi] - s.xB[i]; v > worst {
+				worst = v
+				row = i
+				below = true
+			}
+			if v := s.xB[i] - s.hi[bi]; v > worst {
+				worst = v
+				row = i
+				below = false
+			}
+		}
+		if row == -1 {
+			return Optimal // primal feasible (and still dual feasible)
+		}
+		arow := s.a[row*s.stride:]
+		// Entering column: dual ratio test. Eligibility keeps the step
+		// direction consistent with the leaving variable returning to its
+		// violated bound; the min |z/alpha| choice keeps z dual feasible.
+		enter := -1
+		bestRatio := inf()
+		for j := 0; j < priceLim; j++ {
+			st := s.status[j]
+			if st != statLower && st != statUpper {
+				continue
+			}
+			alpha := arow[j]
+			var ok bool
+			if below {
+				ok = (st == statLower && alpha < -s.eps) || (st == statUpper && alpha > s.eps)
+			} else {
+				ok = (st == statLower && alpha > s.eps) || (st == statUpper && alpha < -s.eps)
+			}
+			if !ok {
+				continue
+			}
+			r := math.Abs(s.z[j] / alpha)
+			if r < bestRatio-s.eps || (r <= bestRatio+s.eps && (enter == -1 || j < enter)) {
+				if r < bestRatio {
+					bestRatio = r
+				}
+				enter = j
+			}
+		}
+		if enter == -1 {
+			return Infeasible
+		}
+		var target float64
+		var leaveStat int8
+		if below {
+			target = s.lo[s.basis[row]]
+			leaveStat = statLower
+		} else {
+			target = s.hi[s.basis[row]]
+			leaveStat = statUpper
+		}
+		t := (s.xB[row] - target) / arow[enter]
+		col := enter
+		for i := 0; i < s.m; i++ {
+			if i != row {
+				s.xB[i] -= t * s.a[i*s.stride+col]
+			}
+		}
+		enterVal := s.nbVal(enter) + t
+		s.pivot(row, enter, enterVal, leaveStat)
+	}
+	return IterLimit
+}
+
+// driveOutArtificials pivots zero-valued basic artificials out of the basis
+// wherever a usable non-artificial column exists; rows with no such column
+// are redundant and keep their artificial basic at zero (its bounds are then
+// fixed so it can never move again).
+func (s *simplex) driveOutArtificials() {
+	for i := 0; i < s.m; i++ {
+		if s.basis[i] < s.nreal {
+			continue
+		}
+		ai := s.a[i*s.stride:]
+		for j := 0; j < s.nreal; j++ {
+			if (s.status[j] != statLower && s.status[j] != statUpper) || math.Abs(ai[j]) <= s.eps {
+				continue
+			}
+			// Degenerate pivot: the artificial leaves at 0, the entering
+			// column stays at its current bound value.
+			s.pivot(i, j, s.nbVal(j), statLower)
+			break
+		}
+	}
+	// Freeze every artificial column at zero for phase 2 and beyond.
+	for j := s.nreal; j < s.width; j++ {
+		s.lo[j], s.hi[j] = 0, 0
+		s.cost[j] = 0
+		if s.status[j] != statBasic {
+			s.status[j] = statFixed
+		}
+	}
+}
+
+// solveCold runs two-phase bounded simplex from the initial basis.
+func (s *simplex) solveCold() Status {
+	if s.width > s.nreal {
+		phase1 := make([]float64, s.width)
+		infeasSum := 0.0
+		for j := s.nreal; j < s.width; j++ {
+			phase1[j] = 1
+		}
+		for i := 0; i < s.m; i++ {
+			if s.basis[i] >= s.nreal {
+				infeasSum += s.xB[i]
+			}
+		}
+		if infeasSum > 0 {
+			s.computeZ(phase1)
+			st := s.primal(s.width)
+			if st == IterLimit {
+				return IterLimit
+			}
+			if st == Unbounded {
+				// Phase-1 objective is bounded below by 0; this means
+				// numerical trouble. Report infeasible to stay safe.
+				return Infeasible
+			}
+			sum := 0.0
+			for i := 0; i < s.m; i++ {
+				if s.basis[i] >= s.nreal {
+					sum += s.xB[i]
+				}
+			}
+			if sum > 1e-7 {
+				return Infeasible
+			}
+		}
+		s.driveOutArtificials()
+	}
+	// Artificial columns are frozen at zero from here on; stop paying for
+	// them in every row operation.
+	s.awidth = s.nreal
+	s.computeZ(s.cost)
+	return s.primal(s.nreal)
+}
+
+// extract maps the current point back to the Problem's variable space.
+func (s *simplex) extract(p *Problem) *Solution {
+	x := make([]float64, s.nstruct)
+	for j := 0; j < s.nstruct; j++ {
+		if s.status[j] != statBasic {
+			x[j] = s.nbVal(j)
+		}
+	}
+	for i, bi := range s.basis {
+		if bi < s.nstruct {
+			x[bi] = s.xB[i]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < s.nstruct; j++ {
+		obj += s.cost[j] * x[j]
+	}
+	rc := make([]float64, s.nstruct)
+	copy(rc, s.z[:s.nstruct])
+	return &Solution{Objective: obj, X: x, Iters: s.iters, ReducedCosts: rc}
+}
+
+// clone deep-copies the engine state.
+func (s *simplex) clone() *simplex {
+	c := *s
+	c.a = append([]float64(nil), s.a...)
+	c.btab = append([]float64(nil), s.btab...)
+	c.lo = append([]float64(nil), s.lo...)
+	c.hi = append([]float64(nil), s.hi...)
+	c.cost = append([]float64(nil), s.cost...)
+	c.z = append([]float64(nil), s.z...)
+	c.basis = append([]int(nil), s.basis...)
+	c.status = append([]int8(nil), s.status...)
+	c.xB = append([]float64(nil), s.xB...)
+	c.rhs0 = append([]float64(nil), s.rhs0...)
+	return &c
+}
+
+// warmApply installs p's (possibly changed) structural bounds into a
+// previously optimal engine state and recomputes the basic values. It
+// returns false when the stored state cannot be warm started (a nonbasic
+// column would sit at an infinite bound, or dual feasibility is lost —
+// e.g. the objective changed since the basis was built).
+func (s *simplex) warmApply(p *Problem) bool {
+	// The stored tableau, reduced costs, and transformed RHS are only valid
+	// if the objective and every row RHS are unchanged since the basis was
+	// built — verify rather than trust the caller (bound changes are the
+	// only supported mutation).
+	objSign := 1.0
+	if p.sense == Maximize {
+		objSign = -1
+	}
+	for j := 0; j < s.nstruct; j++ {
+		if s.cost[j] != objSign*p.obj[j] {
+			return false
+		}
+	}
+	for i := range p.rows {
+		if s.rhs0[i] != p.rows[i].RHS {
+			return false
+		}
+	}
+	copy(s.lo[:s.nstruct], p.lower)
+	copy(s.hi[:s.nstruct], p.upper)
+	for j := 0; j < s.width; j++ {
+		st := s.status[j]
+		if st == statBasic {
+			continue
+		}
+		if s.lo[j] == s.hi[j] {
+			s.status[j] = statFixed
+			continue
+		}
+		if st == statFixed {
+			// A previously fixed column whose bounds re-opened (a sibling
+			// branch path): restart it at its lower bound. The dual
+			// feasibility check below bails to a cold solve if that guess
+			// breaks the basis's optimality conditions.
+			st = statLower
+			s.status[j] = st
+		}
+		if st == statLower && math.IsInf(s.lo[j], -1) {
+			return false
+		}
+		if st == statUpper && math.IsInf(s.hi[j], 1) {
+			return false
+		}
+		if st == statLower && s.z[j] < -dualTol {
+			return false
+		}
+		if st == statUpper && s.z[j] > dualTol {
+			return false
+		}
+	}
+	// xB = B⁻¹b - Σ_nonbasic (B⁻¹A_j)·value_j.
+	copy(s.xB, s.btab)
+	for j := 0; j < s.width; j++ {
+		if s.status[j] == statBasic {
+			continue
+		}
+		v := s.nbVal(j)
+		if v == 0 {
+			continue
+		}
+		for i := 0; i < s.m; i++ {
+			s.xB[i] -= s.a[i*s.stride+j] * v
+		}
+	}
+	s.iters = 0
+	return true
+}
+
+// solveWarm re-optimizes after warmApply: dual simplex back to primal
+// feasibility, then a primal cleanup pass (a no-op when the dual run ends
+// at an optimal point, which is the common case).
+func (s *simplex) solveWarm() Status {
+	st := s.dual(s.nreal)
+	if st != Optimal {
+		return st
+	}
+	return s.primal(s.nreal)
+}

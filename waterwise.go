@@ -225,6 +225,14 @@ type SchedulerConfig struct {
 	// CostWeight optionally adds electricity cost as an objective — the
 	// paper's §7 extension. 0 disables.
 	CostWeight float64
+	// SolverWorkers sets the branch-and-bound node-exploration worker
+	// count; 0 or 1 solves serially. A search run to completion returns
+	// the same objective at any worker count.
+	SolverWorkers int
+	// SolverDisableWarmStart solves every branch-and-bound node from
+	// scratch instead of warm starting from the parent simplex basis
+	// (an ablation switch; answers never change, only solve time).
+	SolverDisableWarmStart bool
 }
 
 // NewScheduler builds the WaterWise MILP scheduler.
@@ -245,6 +253,8 @@ func NewScheduler(cfg SchedulerConfig) (Scheduler, error) {
 	}
 	c.PerfWeight = cfg.PerfWeight
 	c.CostWeight = cfg.CostWeight
+	c.Solver.Workers = cfg.SolverWorkers
+	c.Solver.DisableWarmStart = cfg.SolverDisableWarmStart
 	return core.New(c)
 }
 

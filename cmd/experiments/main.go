@@ -4,10 +4,13 @@
 //
 //	experiments -list
 //	experiments -run fig5
-//	experiments -run all [-paper] [-seed 7]
+//	experiments -run all [-paper] [-seed 7] [-workers N]
 //
 // Quick scale (default) runs each experiment in seconds on a laptop; -paper
-// replays the full ten-day, ~230k-job Google-Borg-scale setup.
+// replays the full ten-day, ~230k-job Google-Borg-scale setup. With -run
+// all, the independent figure generators run concurrently on a bounded
+// worker pool (default: one per CPU, capped at the experiment count) while
+// reports stream out in deterministic ID order.
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"waterwise/internal/experiments"
@@ -34,6 +38,7 @@ func run() error {
 		paper   = flag.Bool("paper", false, "full paper-scale replay (slow)")
 		seed    = flag.Int64("seed", 7, "RNG seed")
 		jsonOut = flag.Bool("json", false, "emit reports as JSON instead of text")
+		workers = flag.Int("workers", 0, "concurrent experiments for -run all (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -55,31 +60,72 @@ func run() error {
 	scale.Seed = *seed
 
 	if *id == "all" {
-		for _, e := range experiments.All() {
-			if err := runOne(e, scale, *jsonOut); err != nil {
-				return err
-			}
-		}
-		return nil
+		return runAll(experiments.All(), scale, *jsonOut, *workers)
 	}
 	e, err := experiments.Lookup(*id)
 	if err != nil {
 		return err
 	}
-	return runOne(e, scale, *jsonOut)
+	return emit(runOne(e, scale), *jsonOut)
 }
 
-func runOne(e experiments.Experiment, scale experiments.Scale, jsonOut bool) error {
+// outcome is one experiment's result plus its own wall time.
+type outcome struct {
+	rep *experiments.Report
+	dur time.Duration
+	err error
+}
+
+func runOne(e experiments.Experiment, scale experiments.Scale) outcome {
 	t0 := time.Now()
 	rep, err := e.Run(scale)
 	if err != nil {
-		return fmt.Errorf("%s: %w", e.ID, err)
+		err = fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return outcome{rep: rep, dur: time.Since(t0).Round(time.Millisecond), err: err}
+}
+
+// runAll fans the independent experiments out over a bounded worker pool
+// and streams each report as soon as it and all its predecessors (in ID
+// order) are done — output is byte-identical to the serial run.
+func runAll(exps []experiments.Experiment, scale experiments.Scale, jsonOut bool, workers int) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	results := make([]chan outcome, len(exps))
+	for i := range results {
+		results[i] = make(chan outcome, 1)
+	}
+	sem := make(chan struct{}, workers)
+	for i, e := range exps {
+		go func(i int, e experiments.Experiment) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] <- runOne(e, scale)
+		}(i, e)
+	}
+	var firstErr error
+	for i := range exps {
+		o := <-results[i] // deterministic ordering: block on ID order
+		if err := emit(o, jsonOut); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func emit(o outcome, jsonOut bool) error {
+	if o.err != nil {
+		return o.err
 	}
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(rep)
+		return enc.Encode(o.rep)
 	}
-	fmt.Printf("%s[completed in %v]\n\n", rep, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("%s[completed in %v]\n\n", o.rep, o.dur)
 	return nil
 }

@@ -1,0 +1,353 @@
+// Command loadgen drives a running waterwised with an open-loop arrival
+// stream and reports achieved throughput and decision latency.
+//
+// It synthesizes arrivals with the same generators the offline traces use
+// (Borg-like diurnal Poisson or Alibaba-like Markov-modulated bursts),
+// compresses the arrival offsets into the requested wall-clock window, and
+// POSTs jobs to /v1/jobs at their scheduled instants regardless of how the
+// service keeps up — open loop, so backpressure (429) shows up as rejected
+// jobs rather than a slowed generator. A concurrent poller tails
+// /v1/decisions and matches decisions to submissions for latency
+// percentiles.
+//
+// Usage:
+//
+//	loadgen [flags]
+//
+//	-url       service base URL              (default http://127.0.0.1:8080)
+//	-rate      offered arrival rate, jobs/s  (default 100)
+//	-duration  wall-clock load window        (default 10s)
+//	-trace     borg|alibaba                  (default borg)
+//	-batch     max jobs per POST             (default 64)
+//	-poll      decision poll interval        (default 50ms)
+//	-drain     extra wait for in-flight decisions after the window (default 30s)
+//	-seed      generator seed                (default 7)
+//	-json      machine-readable report
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"waterwise"
+	"waterwise/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// report is the machine-readable summary (-json).
+type report struct {
+	URL          string  `json:"url"`
+	TraceStyle   string  `json:"trace_style"`
+	NominalRate  float64 `json:"nominal_rate_jobs_per_sec"`
+	OfferedRate  float64 `json:"offered_rate_jobs_per_sec"`
+	WindowSec    float64 `json:"window_sec"`
+	Offered      int     `json:"offered"`
+	Accepted     int     `json:"accepted"`
+	Rejected     int     `json:"rejected"`
+	Errors       int     `json:"errors"`
+	Decided      int     `json:"decided"`
+	DecisionsSec float64 `json:"decisions_per_sec"`
+	RoundsSec    float64 `json:"rounds_per_sec"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP90Ms float64 `json:"latency_p90_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	LatencyMaxMs float64 `json:"latency_max_ms"`
+	SolverIters  int     `json:"solver_simplex_iters"`
+	SolverWarmPc float64 `json:"solver_warm_start_pct"`
+}
+
+func run() error {
+	var (
+		baseURL  = flag.String("url", "http://127.0.0.1:8080", "service base URL")
+		rate     = flag.Float64("rate", 100, "offered arrival rate (jobs/sec)")
+		duration = flag.Duration("duration", 10*time.Second, "wall-clock load window")
+		style    = flag.String("trace", "borg", "arrival process: borg|alibaba")
+		batch    = flag.Int("batch", 64, "max jobs per POST")
+		poll     = flag.Duration("poll", 50*time.Millisecond, "decision poll interval")
+		drain    = flag.Duration("drain", 30*time.Second, "extra wait for in-flight decisions")
+		seed     = flag.Int64("seed", 7, "generator seed")
+		jsonOut  = flag.Bool("json", false, "emit a JSON report")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	status, err := getStatus(client, *baseURL)
+	if err != nil {
+		return fmt.Errorf("reaching %s: %w", *baseURL, err)
+	}
+	regions := make([]waterwise.RegionID, 0, len(status.Free))
+	for id := range status.Free {
+		regions = append(regions, id)
+	}
+	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
+	if len(regions) == 0 {
+		return fmt.Errorf("service reports no regions")
+	}
+	startRounds := status.Rounds
+
+	// Generate arrivals over a one-hour generator window and compress the
+	// offsets into the wall window, preserving the process's burst
+	// structure. JobsPerDay is chosen so the window holds rate*duration
+	// expected arrivals.
+	const genWindow = time.Hour
+	wantJobs := *rate * duration.Seconds()
+	cfg := trace.Config{
+		Start:      time.Date(2023, 7, 3, 8, 12, 0, 0, time.UTC), // a weekday morning where diurnal x weekly modulation ≈ 1
+		Duration:   genWindow,
+		JobsPerDay: wantJobs * float64(24*time.Hour/genWindow),
+		Regions:    regions,
+		Seed:       *seed,
+	}
+	var jobs []*trace.Job
+	switch *style {
+	case "borg":
+		jobs, err = trace.GenerateBorgLike(cfg)
+	case "alibaba":
+		jobs, err = trace.GenerateAlibabaLike(cfg)
+	default:
+		return fmt.Errorf("unknown trace style %q", *style)
+	}
+	if err != nil {
+		return err
+	}
+	compress := float64(*duration) / float64(genWindow)
+
+	var (
+		mu       sync.Mutex
+		sentWall = map[int]time.Time{}
+		rep      = report{URL: *baseURL, TraceStyle: *style, NominalRate: *rate, Offered: len(jobs)}
+	)
+
+	// Poller: tail the decision log, matching decisions to submissions. A
+	// decision can be observed before its POST response delivers the job id,
+	// so unmatched decisions are retried on later iterations.
+	type pollResult struct {
+		lats        []float64
+		lastDecided time.Time
+	}
+	latCh := make(chan pollResult, 1)
+	stopPoll := make(chan struct{})
+	go func() {
+		var res pollResult
+		var cursor uint64
+		unmatched := map[int]time.Time{}
+		for {
+			ds, next, err := getDecisions(client, *baseURL, cursor)
+			mu.Lock()
+			if err == nil {
+				cursor = next
+				for _, d := range ds {
+					unmatched[d.JobID] = d.DecidedWall
+				}
+			}
+			for id, decided := range unmatched {
+				sw, ok := sentWall[id]
+				if !ok {
+					continue
+				}
+				res.lats = append(res.lats, float64(decided.Sub(sw))/float64(time.Millisecond))
+				rep.Decided++
+				if decided.After(res.lastDecided) {
+					res.lastDecided = decided
+				}
+				delete(unmatched, id)
+			}
+			mu.Unlock()
+			select {
+			case <-stopPoll:
+				latCh <- res
+				return
+			case <-time.After(*poll):
+			}
+		}
+	}()
+
+	// Open-loop sender: walk the compressed schedule, batching jobs that
+	// are due together.
+	t0 := time.Now()
+	for i := 0; i < len(jobs); {
+		due := t0.Add(time.Duration(float64(jobs[i].Submit.Sub(cfg.Start)) * compress))
+		if wait := time.Until(due); wait > 0 {
+			time.Sleep(wait)
+		}
+		// Everything due by now, capped at the batch size.
+		j := i
+		now := time.Now()
+		for j < len(jobs) && j-i < *batch {
+			dj := t0.Add(time.Duration(float64(jobs[j].Submit.Sub(cfg.Start)) * compress))
+			if dj.After(now) {
+				break
+			}
+			j++
+		}
+		if j == i {
+			j = i + 1
+		}
+		specs := make([]waterwise.JobSpec, 0, j-i)
+		for _, job := range jobs[i:j] {
+			specs = append(specs, waterwise.JobSpec{
+				Benchmark: job.Benchmark, Home: job.Home,
+				DurationSec:    job.Duration.Seconds(),
+				EnergyKWh:      float64(job.Energy),
+				EstDurationSec: job.EstDuration.Seconds(),
+				EstEnergyKWh:   float64(job.EstEnergy),
+			})
+		}
+		sent := time.Now() // open-loop submission instant, pre-request
+		ids, code, err := postJobs(client, *baseURL, specs)
+		mu.Lock()
+		switch {
+		case err != nil:
+			rep.Errors += len(specs)
+		case code == http.StatusTooManyRequests:
+			rep.Accepted += len(ids)
+			rep.Rejected += len(specs) - len(ids)
+		case code != http.StatusAccepted:
+			rep.Accepted += len(ids)
+			rep.Errors += len(specs) - len(ids)
+		default:
+			rep.Accepted += len(ids)
+		}
+		for _, id := range ids {
+			sentWall[id] = sent
+		}
+		mu.Unlock()
+		i = j
+	}
+	sendWindow := time.Since(t0)
+
+	// Let in-flight decisions land: poll until everything accepted has
+	// decided or the drain budget runs out.
+	drainDeadline := time.Now().Add(*drain)
+	for time.Now().Before(drainDeadline) {
+		mu.Lock()
+		done := rep.Decided >= rep.Accepted
+		mu.Unlock()
+		if done {
+			break
+		}
+		time.Sleep(*poll)
+	}
+	close(stopPoll)
+	pr := <-latCh
+	lats := pr.lats
+
+	status, err = getStatus(client, *baseURL)
+	if err != nil {
+		return err
+	}
+	// The throughput window runs from the first submission to the last
+	// observed decision (falling back to now if nothing decided).
+	window := time.Since(t0)
+	if !pr.lastDecided.IsZero() && pr.lastDecided.After(t0) {
+		window = pr.lastDecided.Sub(t0)
+	}
+	rep.WindowSec = sendWindow.Seconds()
+	rep.OfferedRate = float64(rep.Offered) / sendWindow.Seconds()
+	rep.DecisionsSec = float64(rep.Decided) / window.Seconds()
+	rep.RoundsSec = float64(status.Rounds-startRounds) / window.Seconds()
+	if status.Solver != nil {
+		rep.SolverIters = status.Solver.SimplexIters
+		rep.SolverWarmPc = 100 * status.Solver.WarmStartHitRate()
+	}
+	sort.Float64s(lats)
+	rep.LatencyP50Ms = percentile(lats, 0.50)
+	rep.LatencyP90Ms = percentile(lats, 0.90)
+	rep.LatencyP99Ms = percentile(lats, 0.99)
+	if len(lats) > 0 {
+		rep.LatencyMaxMs = lats[len(lats)-1]
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("loadgen: %s trace, offered %d jobs in %.1fs (%.1f/s nominal %.0f/s)\n",
+		rep.TraceStyle, rep.Offered, rep.WindowSec, rep.OfferedRate, rep.NominalRate)
+	fmt.Printf("  accepted %d, rejected %d (backpressure), errors %d\n", rep.Accepted, rep.Rejected, rep.Errors)
+	fmt.Printf("  decided %d (%.1f decisions/s, %.1f rounds/s)\n", rep.Decided, rep.DecisionsSec, rep.RoundsSec)
+	fmt.Printf("  decision latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms, rep.LatencyMaxMs)
+	if rep.SolverIters > 0 {
+		fmt.Printf("  solver: %d simplex iters, %.0f%% warm-served\n", rep.SolverIters, rep.SolverWarmPc)
+	}
+	return nil
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func getStatus(c *http.Client, base string) (*waterwise.ServerStatus, error) {
+	resp, err := c.Get(base + "/v1/status")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var st waterwise.ServerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+func getDecisions(c *http.Client, base string, since uint64) ([]waterwise.ServerDecision, uint64, error) {
+	resp, err := c.Get(fmt.Sprintf("%s/v1/decisions?since=%d", base, since))
+	if err != nil {
+		return nil, since, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Decisions []waterwise.ServerDecision `json:"decisions"`
+		Next      uint64                     `json:"next"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, since, err
+	}
+	return body.Decisions, body.Next, nil
+}
+
+func postJobs(c *http.Client, base string, specs []waterwise.JobSpec) ([]int, int, error) {
+	payload, err := json.Marshal(specs)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := c.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Accepted []int  `json:"accepted"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, resp.StatusCode, err
+	}
+	return body.Accepted, resp.StatusCode, nil
+}

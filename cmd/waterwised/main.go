@@ -1,0 +1,130 @@
+// Command waterwised is the WaterWise scheduling daemon: the long-running
+// form of the Optimization Decision Controller. It serves an HTTP/JSON API —
+// POST /v1/jobs, GET /v1/decisions, GET /v1/status, GET /metrics — ingests
+// streaming job arrivals into a bounded queue, micro-batches them into
+// scheduling rounds on a configurable cadence, and places them with the
+// same MILP scheduler stack the offline replay uses (cross-round warm
+// starts on by default).
+//
+// Usage:
+//
+//	waterwised [flags]
+//
+//	-addr          listen address                            (default :8080)
+//	-round         scheduling round cadence in sim time      (default 1m)
+//	-timescale     simulated seconds per wall second; 0 runs
+//	               accelerated (rounds back to back)         (default 1)
+//	-tolerance     delay tolerance fraction                  (default 0.5)
+//	-lambda-carbon λ_CO2 objective weight (λ_H2O = 1-λ_CO2)  (default 0.5)
+//	-regions       comma-separated region subset             (default: all five)
+//	-horizon-hours environment series horizon                (default 96)
+//	-queue-cap     ingest queue bound (backpressure)         (default 65536)
+//	-decision-log  decision log ring capacity                (default 65536)
+//	-workers       solver worker count                       (default 1)
+//	-no-warm-start disable the cross-round warm start
+//	-wri           use the WRI-style water dataset
+//	-seed          environment RNG seed                      (default 7)
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"flag"
+
+	"waterwise"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "waterwised:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		round       = flag.Duration("round", time.Minute, "scheduling round cadence (simulated time)")
+		timescale   = flag.Float64("timescale", 1, "simulated seconds per wall second; 0 = accelerated")
+		tolerance   = flag.Float64("tolerance", 0.5, "delay tolerance fraction")
+		lambdaC     = flag.Float64("lambda-carbon", 0.5, "carbon objective weight (water gets 1-x)")
+		regionsCSV  = flag.String("regions", "", "comma-separated region subset")
+		horizon     = flag.Int("horizon-hours", 96, "environment series horizon in hours")
+		queueCap    = flag.Int("queue-cap", 0, "ingest queue bound (0 = default 65536)")
+		decisionLog = flag.Int("decision-log", 0, "decision log ring capacity (0 = default 65536)")
+		workers     = flag.Int("workers", 1, "branch-and-bound worker count")
+		noWarm      = flag.Bool("no-warm-start", false, "disable the cross-round warm start")
+		wri         = flag.Bool("wri", false, "use the WRI-style water dataset")
+		seed        = flag.Int64("seed", 7, "environment RNG seed")
+	)
+	flag.Parse()
+
+	var regions []waterwise.RegionID
+	if *regionsCSV != "" {
+		for _, r := range strings.Split(*regionsCSV, ",") {
+			regions = append(regions, waterwise.RegionID(strings.TrimSpace(r)))
+		}
+	}
+	env, err := waterwise.NewEnvironment(waterwise.EnvironmentConfig{
+		Regions:         regions,
+		HorizonHours:    *horizon,
+		UseWRIWaterData: *wri,
+		Seed:            *seed,
+	})
+	if err != nil {
+		return err
+	}
+	sched, err := waterwise.NewScheduler(waterwise.SchedulerConfig{
+		LambdaCarbon:        *lambdaC,
+		LambdaWater:         1 - *lambdaC,
+		SolverWorkers:       *workers,
+		CrossRoundWarmStart: !*noWarm,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := waterwise.NewServer(env, sched, waterwise.ServerConfig{
+		Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
+		QueueCap: *queueCap, DecisionLogCap: *decisionLog,
+	})
+	if err != nil {
+		return err
+	}
+	srv.Start()
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	mode := fmt.Sprintf("paced x%g", *timescale)
+	if *timescale == 0 {
+		mode = "accelerated"
+	}
+	fmt.Printf("waterwised: listening on %s (round %v, %s, tolerance %.0f%%, regions %v)\n",
+		*addr, *round, mode, *tolerance*100, env.Regions())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		srv.Stop()
+		return err
+	case s := <-sig:
+		fmt.Printf("waterwised: %v, shutting down\n", s)
+	}
+	_ = httpSrv.Close()
+	srv.Stop()
+	st := srv.Status()
+	fmt.Printf("waterwised: %d rounds, %d decisions, %d accepted, %d rejected, %d unscheduled\n",
+		st.Rounds, st.Decisions, st.Accepted, st.Rejected, st.Unscheduled)
+	if st.Solver != nil {
+		fmt.Printf("waterwised: solver %d nodes, %d simplex iters, %.0f%% warm-served, %v wall\n",
+			st.Solver.Nodes, st.Solver.SimplexIters, 100*st.Solver.WarmStartHitRate(), st.Solver.Wall.Round(time.Millisecond))
+	}
+	return nil
+}

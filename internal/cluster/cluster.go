@@ -269,10 +269,129 @@ func (rs *regionState) place(want time.Time, exec time.Duration) time.Time {
 	return start
 }
 
+// Sim is the incremental form of the simulator: the same round engine Run
+// drives, exposed step by step so a long-running service (internal/server)
+// can feed it streaming arrivals and fire scheduling rounds on its own
+// clock — wall or accelerated. Replaying a trace through Submit/Step at the
+// offline cadence reproduces Run exactly, by construction. A Sim is not safe
+// for concurrent use; the owner serializes access.
+type Sim struct {
+	cfg    Config
+	sched  Scheduler
+	states map[region.ID]*regionState
+	// pending holds jobs awaiting a placement decision.
+	pending []*PendingJob
+	res     *Result
+	sorted  bool
+}
+
+// NewSim validates and defaults cfg and returns an empty incremental
+// simulator for the scheduler.
+func NewSim(cfg Config, sched Scheduler) (*Sim, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	states := make(map[region.ID]*regionState, len(cfg.Env.Regions))
+	for _, r := range cfg.Env.Regions {
+		states[r.ID] = newRegionState(r.Servers)
+	}
+	return &Sim{
+		cfg: cfg, sched: sched, states: states,
+		res: &Result{Scheduler: sched.Name(), Tolerance: cfg.Tolerance},
+	}, nil
+}
+
+// Submit queues a job for placement; at is the controller-side arrival
+// instant (PendingJob.FirstSeen, the T_start of the Eq. 14 urgency score).
+func (s *Sim) Submit(job *trace.Job, at time.Time) {
+	s.pending = append(s.pending, &PendingJob{Job: job, FirstSeen: at})
+}
+
+// Pending reports the number of jobs awaiting placement.
+func (s *Sim) Pending() int { return len(s.pending) }
+
+// Free reports the number of servers per region free at an instant.
+func (s *Sim) Free(at time.Time) map[region.ID]int {
+	free := make(map[region.ID]int, len(s.states))
+	for id, rs := range s.states {
+		free[id] = rs.freeCount(at)
+	}
+	return free
+}
+
+// Step runs one scheduling round at now: builds the scheduler's context,
+// asks it for decisions, commits them (reserving capacity and accounting
+// footprints), and returns this round's outcomes. Rounds with no pending
+// jobs are no-ops (no tick is recorded, matching Run). The returned slice
+// aliases the accumulated result; callers must not mutate it.
+func (s *Sim) Step(now time.Time) ([]JobOutcome, error) {
+	if len(s.pending) == 0 {
+		return nil, nil
+	}
+	free := make(map[region.ID]int, len(s.states))
+	busy := make(map[region.ID]int, len(s.states))
+	for id, rs := range s.states {
+		f := rs.freeCount(now)
+		free[id] = f
+		busy[id] = rs.servers - f
+	}
+	ctx := &Context{
+		Now: now, Jobs: s.pending, Free: free, Busy: busy,
+		Env: s.cfg.Env, Net: s.cfg.Net, FP: s.cfg.FP, Tolerance: s.cfg.Tolerance,
+		FreeAt: func(id region.ID, start time.Time, exec time.Duration) int {
+			rs, ok := s.states[id]
+			if !ok {
+				return 0
+			}
+			return rs.freeCount(start)
+		},
+	}
+	t0 := time.Now()
+	decisions, err := s.sched.Schedule(ctx)
+	overhead := time.Since(t0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: scheduler %s at %v: %w", s.sched.Name(), now, err)
+	}
+	firstOut := len(s.res.Outcomes)
+	decided, err := apply(s.cfg, s.states, now, s.pending, decisions, s.res)
+	if err != nil {
+		return nil, err
+	}
+	s.res.Ticks = append(s.res.Ticks, TickStat{At: now, Batch: len(s.pending), Decided: len(decided), Overhead: overhead})
+	s.pending = survivors(s.pending, decided)
+	s.sorted = false
+	return s.res.Outcomes[firstOut:], nil
+}
+
+// Abandon moves every still-pending job to the result's Unscheduled list —
+// the drain-deadline overrun path of Run, or a service shutting down with
+// jobs in the queue — and returns the abandoned jobs.
+func (s *Sim) Abandon() []*trace.Job {
+	out := make([]*trace.Job, 0, len(s.pending))
+	for _, pj := range s.pending {
+		s.res.Unscheduled = append(s.res.Unscheduled, pj.Job)
+		out = append(out, pj.Job)
+	}
+	s.pending = nil
+	return out
+}
+
+// Result returns the accumulated simulation result with outcomes in job-ID
+// order. The Sim remains usable; subsequent Steps keep appending to the same
+// result.
+func (s *Sim) Result() *Result {
+	if !s.sorted {
+		sort.Slice(s.res.Outcomes, func(i, j int) bool { return s.res.Outcomes[i].Job.ID < s.res.Outcomes[j].Job.ID })
+		s.sorted = true
+	}
+	return s.res
+}
+
 // Run plays the trace against the scheduler and returns the full result.
 // The trace must be sorted by submission time (generators guarantee this).
 func Run(cfg Config, sched Scheduler, jobs []*trace.Job) (*Result, error) {
-	cfg, err := cfg.withDefaults()
+	sim, err := NewSim(cfg, sched)
 	if err != nil {
 		return nil, err
 	}
@@ -281,77 +400,36 @@ func Run(cfg Config, sched Scheduler, jobs []*trace.Job) (*Result, error) {
 			return nil, fmt.Errorf("cluster: trace not sorted at job %d", jobs[i].ID)
 		}
 	}
-
-	env := cfg.Env
-	states := make(map[region.ID]*regionState, len(env.Regions))
-	for _, r := range env.Regions {
-		states[r.ID] = newRegionState(r.Servers)
-	}
-
-	res := &Result{Scheduler: sched.Name(), Tolerance: cfg.Tolerance}
-	var pending []*PendingJob
+	cfg = sim.cfg // defaults applied
 	nextJob := 0
-	now := env.Start
+	now := cfg.Env.Start
 	var lastArrival time.Time
 	if len(jobs) > 0 {
 		lastArrival = jobs[len(jobs)-1].Submit
 	} else {
-		lastArrival = env.Start
+		lastArrival = cfg.Env.Start
 	}
 	deadline := lastArrival.Add(cfg.MaxDrain)
 
 	for {
 		// Ingest arrivals up to now.
 		for nextJob < len(jobs) && !jobs[nextJob].Submit.After(now) {
-			pending = append(pending, &PendingJob{Job: jobs[nextJob], FirstSeen: now})
+			sim.Submit(jobs[nextJob], now)
 			nextJob++
 		}
-		if len(pending) > 0 {
-			free := make(map[region.ID]int, len(states))
-			busy := make(map[region.ID]int, len(states))
-			for id, rs := range states {
-				f := rs.freeCount(now)
-				free[id] = f
-				busy[id] = rs.servers - f
-			}
-			ctx := &Context{
-				Now: now, Jobs: pending, Free: free, Busy: busy,
-				Env: env, Net: cfg.Net, FP: cfg.FP, Tolerance: cfg.Tolerance,
-				FreeAt: func(id region.ID, start time.Time, exec time.Duration) int {
-					rs, ok := states[id]
-					if !ok {
-						return 0
-					}
-					return rs.freeCount(start)
-				},
-			}
-			t0 := time.Now()
-			decisions, err := sched.Schedule(ctx)
-			overhead := time.Since(t0)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: scheduler %s at %v: %w", sched.Name(), now, err)
-			}
-			decided, err := apply(cfg, states, now, pending, decisions, res)
-			if err != nil {
-				return nil, err
-			}
-			res.Ticks = append(res.Ticks, TickStat{At: now, Batch: len(pending), Decided: len(decided), Overhead: overhead})
-			pending = survivors(pending, decided)
+		if _, err := sim.Step(now); err != nil {
+			return nil, err
 		}
-
-		if nextJob >= len(jobs) && len(pending) == 0 {
+		if nextJob >= len(jobs) && sim.Pending() == 0 {
 			break
 		}
 		now = now.Add(cfg.Tick)
 		if now.After(deadline) {
-			for _, pj := range pending {
-				res.Unscheduled = append(res.Unscheduled, pj.Job)
-			}
+			sim.Abandon()
 			break
 		}
 	}
-	sort.Slice(res.Outcomes, func(i, j int) bool { return res.Outcomes[i].Job.ID < res.Outcomes[j].Job.ID })
-	return res, nil
+	return sim.Result(), nil
 }
 
 // apply commits decisions: reserves capacity, computes footprints, and

@@ -113,6 +113,12 @@ type Scheduler struct {
 	// solverStats aggregates branch-and-bound instrumentation across
 	// rounds for the Fig. 13 decision-overhead accounting.
 	solverStats milp.Stats
+	// lastObj is the MILP objective of the most recent round's solve (set
+	// when the round was decided by the optimizer, not the greedy fallback).
+	// The cross-round warm-start differential tests compare it between a
+	// repricing and a cold-solving controller fed identical rounds.
+	lastObj    float64
+	lastObjSet bool
 }
 
 type modelKey struct{ m, n int }
@@ -214,6 +220,12 @@ func (s *Scheduler) Stats() (rounds, softened int) { return s.rounds, s.softened
 // rate, and solver wall time (the decision-overhead breakdown of Fig. 13).
 func (s *Scheduler) SolverStats() milp.Stats { return s.solverStats }
 
+// LastRoundObjective reports the MILP objective of the most recent
+// scheduling round, and whether that round was decided by the optimizer
+// (false when the round fell back to the greedy controller or decided
+// nothing).
+func (s *Scheduler) LastRoundObjective() (float64, bool) { return s.lastObj, s.lastObjSet }
+
 // candidate carries the per-(job, region) scoring inputs for one round.
 type candidate struct {
 	carbon  float64 // absolute carbon estimate incl. transfer (g)
@@ -226,6 +238,7 @@ type candidate struct {
 // Schedule implements cluster.Scheduler: Algorithm 1 of the paper.
 func (s *Scheduler) Schedule(ctx *cluster.Context) ([]cluster.Decision, error) {
 	s.rounds++
+	s.lastObjSet = false
 	ids := ctx.Env.IDs()
 	if len(ids) == 0 || len(ctx.Jobs) == 0 {
 		return nil, nil
@@ -460,6 +473,7 @@ func (s *Scheduler) solve(ctx *cluster.Context, ids []region.ID, caps []int, job
 	if sol.Status != milp.Optimal && sol.Status != milp.Feasible {
 		return nil, false, nil
 	}
+	s.lastObj, s.lastObjSet = sol.Objective, true
 	dec := make([]cluster.Decision, 0, M)
 	for m := 0; m < M; m++ {
 		for n := 0; n < N; n++ {

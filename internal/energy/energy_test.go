@@ -141,8 +141,8 @@ func TestQuickMixProperties(t *testing.T) {
 			}
 		}
 		n := m.Normalize()
-		if len(n) == 0 {
-			return true
+		if n.Total() == 0 {
+			return true // zero-total mixes normalize to the empty mix
 		}
 		if math.Abs(n.Total()-1) > 1e-9 {
 			t.Logf("seed %d: total %g", seed, n.Total())
@@ -154,7 +154,10 @@ func TestQuickMixProperties(t *testing.T) {
 				t.Logf("seed %d: negative share", seed)
 				return false
 			}
-			ci := float64(Table[s].CI)
+			if share == 0 {
+				continue // not a participating source
+			}
+			ci := float64(Table[Source(s)].CI)
 			if ci < minCI {
 				minCI = ci
 			}

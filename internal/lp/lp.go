@@ -297,25 +297,74 @@ func (p *Problem) Solve() (*Solution, error) {
 // stored basis. On return, a non-nil b holds the final state for the next
 // warm start.
 func (p *Problem) SolveWarm(b *Basis) (*Solution, error) {
+	return p.solveReusing(b, func(s *simplex) (Status, bool) {
+		if !s.warmApply(p) {
+			return Optimal, false
+		}
+		return s.solveWarm(), true
+	})
+}
+
+// SolveReprice solves the problem like SolveWarm, but additionally revives a
+// basis whose objective coefficients or constraint right-hand sides have
+// changed since it was stored. Where SolveWarm treats any objective/RHS drift
+// as grounds for a cold solve, SolveReprice re-prices the stored engine in
+// place: the transformed RHS (B⁻¹b) absorbs each row's RHS delta through the
+// row's slack column, the new objective is installed (z = c − c_B·B⁻¹A
+// recomputed), and — provided the revived vertex is still primal feasible —
+// the primal simplex walks it to the new optimum. This is the cross-round
+// warm start of the scheduler's reused round model: between rounds the model
+// keeps its shape but every cost, capacity RHS, and pair-forbidding bound
+// changes. Shape changes, EQ-row RHS changes, nonbasic columns stranded at
+// infinite bounds, and revived vertices knocked primal-infeasible by the new
+// bounds/RHS all fall back to a cold solve (reusing the basis's
+// allocations), so answers never depend on the warm path.
+func (p *Problem) SolveReprice(b *Basis) (*Solution, error) {
+	return p.solveReusing(b, func(s *simplex) (Status, bool) {
+		if !s.repriceBase(p) {
+			return Optimal, false
+		}
+		if !s.primalFeasible() {
+			// Basic values out of bounds (capacity shrank, or a basic pair
+			// got forbidden). Repairing feasibility from a stale vertex via
+			// the dual simplex measurably costs more pivots than the
+			// triangular crash start, so rebuild cold instead.
+			return Optimal, false
+		}
+		s.repriceCost(p)
+		// The old optimum survived the bound/RHS changes: the primal simplex
+		// walks it to the new optimum, skipping tableau construction, the
+		// crash, and phase 1 entirely (no dual feasibility needed at the
+		// start of a primal run).
+		return s.primal(s.nreal), true
+	})
+}
+
+// solveReusing is the shared SolveWarm/SolveReprice driver: revive tries to
+// reuse the basis's engine state and re-optimize, reporting (status, true) on
+// a completed warm attempt; any doubt ((_, false), or a non-conclusive
+// status) falls back to a cold solve that reuses the engine's allocations.
+func (p *Problem) solveReusing(b *Basis, revive func(*simplex) (Status, bool)) (*Solution, error) {
 	var recycled *simplex
 	if b != nil && b.Valid() {
 		s := b.s
-		if s.nstruct == p.nvars && s.m == len(p.rows) && s.warmApply(p) {
-			st := s.solveWarm()
-			switch st {
-			case Optimal:
-				sol := s.extract(p)
-				sol.Status = Optimal
-				sol.WarmStarted = true
-				p.finishSense(sol)
-				return sol, nil
-			case Infeasible:
-				return &Solution{Status: Infeasible, Iters: s.iters, WarmStarted: true}, nil
+		if s.nstruct == p.nvars && s.m == len(p.rows) {
+			if st, attempted := revive(s); attempted {
+				switch st {
+				case Optimal:
+					sol := s.extract(p)
+					sol.Status = Optimal
+					sol.WarmStarted = true
+					p.finishSense(sol)
+					return sol, nil
+				case Infeasible:
+					return &Solution{Status: Infeasible, Iters: s.iters, WarmStarted: true}, nil
+				}
 			}
 		}
-		// The stored state is stale (objective/RHS drift), the wrong
-		// shape, or mid-run after an iteration limit: useless as a warm
-		// start, but its allocations can back the cold solve.
+		// The stored state is stale (drift beyond what revive can absorb),
+		// the wrong shape, or mid-run after an iteration limit: useless as a
+		// warm start, but its allocations can back the cold solve.
 		recycled = b.s
 		b.s = nil
 	}

@@ -1,0 +1,202 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// mutateLP perturbs a problem in place the way cross-round model reuse does:
+// objective drift, RHS drift, and variable-bound changes (including fixing
+// and re-opening), without touching the constraint structure.
+func mutateLP(r *rand.Rand, p *Problem) {
+	for j := 0; j < p.nvars; j++ {
+		if r.Intn(2) == 0 {
+			p.obj[j] = math.Round((r.Float64()*4-2)*8) / 8
+		}
+	}
+	for i := range p.rows {
+		if r.Intn(3) == 0 {
+			p.rows[i].RHS = math.Round((r.Float64()*8-2)*4) / 4
+		}
+	}
+	for j := 0; j < p.nvars; j++ {
+		switch r.Intn(6) {
+		case 0: // fix at a point
+			v := math.Round(r.Float64()*8) / 4
+			p.lower[j], p.upper[j] = v, v
+		case 1: // re-open
+			p.lower[j] = 0
+			p.upper[j] = math.Inf(1)
+			if r.Intn(2) == 0 {
+				p.upper[j] = math.Round(r.Float64()*16) / 4
+			}
+		}
+	}
+}
+
+// TestSolveRepriceDifferential drives chains of mutated problems through
+// SolveReprice and cross-checks every link against a from-scratch solve:
+// statuses must agree, objectives must match to 1e-6, and the repriced
+// solution must be feasible for the *current* problem data.
+func TestSolveRepriceDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(20260728))
+	warm := 0
+	for chain := 0; chain < 120; chain++ {
+		p := randomLP(r)
+		b := NewBasis()
+		for step := 0; step < 6; step++ {
+			if step > 0 {
+				mutateLP(r, p)
+			}
+			got, err := p.SolveReprice(b)
+			if err != nil {
+				t.Fatalf("chain %d step %d: SolveReprice: %v", chain, step, err)
+			}
+			want, err := p.Clone().Solve()
+			if err != nil {
+				t.Fatalf("chain %d step %d: cold Solve: %v", chain, step, err)
+			}
+			if got.Status == IterLimit || want.Status == IterLimit {
+				t.Fatalf("chain %d step %d: iteration limit (reprice=%v cold=%v)", chain, step, got.Status, want.Status)
+			}
+			if got.Status != want.Status {
+				t.Errorf("chain %d step %d: status %v, cold %v", chain, step, got.Status, want.Status)
+				continue
+			}
+			if got.WarmStarted {
+				warm++
+			}
+			if got.Status != Optimal {
+				continue
+			}
+			if math.Abs(got.Objective-want.Objective) > 1e-6 {
+				t.Errorf("chain %d step %d: objective %.9f, cold %.9f (warm=%v)",
+					chain, step, got.Objective, want.Objective, got.WarmStarted)
+			}
+			checkFeasible(t, p, got.X, "reprice")
+		}
+	}
+	if warm == 0 {
+		t.Fatalf("no chain link was ever served by a repriced warm start")
+	}
+	t.Logf("repriced warm starts: %d", warm)
+}
+
+// TestSolveRepriceRoundModel replays the scheduler's round-model shape — M
+// assignment EQ rows over binaries plus N capacity LE rows — through a round
+// sequence where every round re-prices the objective, rewrites the capacity
+// RHS, and fixes a fresh set of forbidden pairs. The warm path must agree
+// with a cold solve on every round, serve the bulk of the rounds, and keep
+// its primal walks short (a handful of pivots per round; the system-level
+// iteration comparison against the cold path lives in internal/core's
+// cross-round differential test, where whole traces are replayed).
+func TestSolveRepriceRoundModel(t *testing.T) {
+	const M, N, rounds = 10, 4, 40
+	r := rand.New(rand.NewSource(42))
+	p := New(M * N)
+	for m := 0; m < M; m++ {
+		terms := make([]Term, N)
+		for n := 0; n < N; n++ {
+			terms[n] = Term{Var: m*N + n, Coef: 1}
+		}
+		if _, err := p.AddConstraint(terms, EQ, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	capRows := make([]int, N)
+	for n := 0; n < N; n++ {
+		terms := make([]Term, M)
+		for m := 0; m < M; m++ {
+			terms[m] = Term{Var: m*N + n, Coef: 1}
+		}
+		row, err := p.AddConstraint(terms, LE, float64(M))
+		if err != nil {
+			t.Fatal(err)
+		}
+		capRows[n] = row
+	}
+
+	b := NewBasis()
+	warm, warmIters, freshIters := 0, 0, 0
+	// Round-to-round dynamics mirror the scheduler's light-load regime —
+	// where the reprice path engages: objective coefficients drift with the
+	// (slowly moving) grid conditions, capacities hover a little above
+	// demand, and a small churning minority of pairs is forbidden by the
+	// tolerance constraint.
+	obj := make([]float64, M*N)
+	for v := range obj {
+		obj[v] = 0.2 + r.Float64()
+	}
+	forbidden := make([]bool, M*N)
+	for round := 0; round < rounds; round++ {
+		for v := range obj {
+			obj[v] += (r.Float64() - 0.5) * 0.05
+			if obj[v] < 0 {
+				obj[v] = 0
+			}
+		}
+		if err := p.SetObjective(obj, Minimize); err != nil {
+			t.Fatal(err)
+		}
+		for n := 0; n < N; n++ {
+			// Σ caps comfortably >= M: the light-load regime.
+			if err := p.SetRHS(capRows[n], float64(M/2+r.Intn(2))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for m := 0; m < M; m++ {
+			open := 0
+			for n := 0; n < N; n++ {
+				forbidden[m*N+n] = r.Intn(50) == 0
+				if !forbidden[m*N+n] {
+					open++
+				}
+			}
+			if open == 0 {
+				forbidden[m*N+r.Intn(N)] = false
+			}
+			for n := 0; n < N; n++ {
+				v := m*N + n
+				lo, hi := 0.0, math.Inf(1)
+				if forbidden[v] {
+					lo, hi = 0, 0
+				}
+				if err := p.SetBounds(v, lo, hi); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		got, err := p.SolveReprice(b)
+		if err != nil {
+			t.Fatalf("round %d: SolveReprice: %v", round, err)
+		}
+		want, err := p.Clone().Solve()
+		if err != nil {
+			t.Fatalf("round %d: cold Solve: %v", round, err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("round %d: status %v, cold %v", round, got.Status, want.Status)
+		}
+		if got.Status == Optimal && math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Errorf("round %d: objective %.9f, cold %.9f (warm=%v)",
+				round, got.Objective, want.Objective, got.WarmStarted)
+		}
+		if got.Status == Optimal {
+			checkFeasible(t, p, got.X, "reprice round model")
+		}
+		if got.WarmStarted {
+			warm++
+			warmIters += got.Iters
+			freshIters += want.Iters
+		}
+	}
+	if warm < rounds/2 {
+		t.Errorf("only %d/%d rounds were warm started", warm, rounds)
+	}
+	if warmIters > 2*warm {
+		t.Errorf("warm-started rounds averaged %.1f simplex iters — the primal walk from the previous optimum should be a handful of pivots",
+			float64(warmIters)/float64(warm))
+	}
+	t.Logf("warm %d/%d rounds, warm iters %d (fresh-cold iters on those rounds: %d)", warm, rounds, warmIters, freshIters)
+}

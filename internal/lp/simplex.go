@@ -379,7 +379,6 @@ func (s *simplex) installCrash(p *Problem, r, j int, delta float64, slackCol int
 	s.xB[r] = s.lo[j] + delta
 }
 
-
 // nbVal returns the current value of nonbasic column j.
 func (s *simplex) nbVal(j int) float64 {
 	if s.status[j] == statUpper {
@@ -772,9 +771,28 @@ func (s *simplex) warmApply(p *Problem) bool {
 			return false
 		}
 	}
+	if !s.normalizeNonbasic(p, s.width, true) {
+		return false
+	}
+	s.computeXB()
+	s.iters = 0
+	return true
+}
+
+// normalizeNonbasic installs p's variable bounds and makes every nonbasic
+// column's status (up to limit) consistent with its box: columns whose box
+// closed become fixed, previously fixed columns whose box re-opened (a
+// sibling branch path, or a pair un-forbidden between rounds) restart at
+// their lower bound. checkDual additionally verifies the stored reduced
+// costs remain dual feasible under the new statuses — the SolveWarm
+// contract, where z is trusted as-is; the reprice path recomputes z instead
+// and needs only bound consistency. Returns false — cold solve — when a
+// nonbasic column would sit at an infinite bound or (checkDual) dual
+// feasibility is lost.
+func (s *simplex) normalizeNonbasic(p *Problem, limit int, checkDual bool) bool {
 	copy(s.lo[:s.nstruct], p.lower)
 	copy(s.hi[:s.nstruct], p.upper)
-	for j := 0; j < s.width; j++ {
+	for j := 0; j < limit; j++ {
 		st := s.status[j]
 		if st == statBasic {
 			continue
@@ -784,10 +802,6 @@ func (s *simplex) warmApply(p *Problem) bool {
 			continue
 		}
 		if st == statFixed {
-			// A previously fixed column whose bounds re-opened (a sibling
-			// branch path): restart it at its lower bound. The dual
-			// feasibility check below bails to a cold solve if that guess
-			// breaks the basis's optimality conditions.
 			st = statLower
 			s.status[j] = st
 		}
@@ -797,14 +811,91 @@ func (s *simplex) warmApply(p *Problem) bool {
 		if st == statUpper && math.IsInf(s.hi[j], 1) {
 			return false
 		}
-		if st == statLower && s.z[j] < -dualTol {
-			return false
-		}
-		if st == statUpper && s.z[j] > dualTol {
-			return false
+		if checkDual {
+			if st == statLower && s.z[j] < -dualTol {
+				return false
+			}
+			if st == statUpper && s.z[j] > dualTol {
+				return false
+			}
 		}
 	}
-	// xB = B⁻¹b - Σ_nonbasic (B⁻¹A_j)·value_j.
+	return true
+}
+
+// solveWarm re-optimizes after warmApply: dual simplex back to primal
+// feasibility, then a primal cleanup pass (a no-op when the dual run ends
+// at an optimal point, which is the common case).
+func (s *simplex) solveWarm() Status {
+	st := s.dual(s.nreal)
+	if st != Optimal {
+		return st
+	}
+	return s.primal(s.nreal)
+}
+
+// repriceBase revives a previously optimal engine for a problem whose
+// constraint RHS and variable bounds changed since the basis was stored,
+// while *keeping the stored objective and reduced costs* — the first stage of
+// the cross-round re-pricing warm start. Each row's RHS delta folds into the
+// transformed RHS through that row's slack column of the tableau (the slack's
+// column *is* B⁻¹e_i up to the row's phase-1 sign flip, which btab shares, so
+// the signs cancel); bounds are reinstalled, statuses normalized, and the
+// basic values recomputed. It returns false — leaving the caller to solve
+// cold — when the state cannot be revived: a structural mismatch, an RHS
+// change on a slackless (EQ) row, or a nonbasic column parked at an infinite
+// bound.
+func (s *simplex) repriceBase(p *Problem) bool {
+	// A valid basis has always completed a cold phase 1, so the active width
+	// excludes the (stale, frozen) artificial columns.
+	if s.awidth != s.nreal {
+		return false
+	}
+	nSlack := 0
+	for _, r := range p.rows {
+		if r.Op != EQ {
+			nSlack++
+		}
+	}
+	if s.nreal != s.nstruct+nSlack {
+		return false
+	}
+	// RHS deltas first: they touch only btab, which does not depend on costs,
+	// statuses, or bounds. EQ rows have no slack column to route a delta
+	// through, so a changed EQ RHS forces a cold solve.
+	slack := s.nstruct
+	for i, r := range p.rows {
+		sc := -1
+		if r.Op != EQ {
+			sc = slack
+			slack++
+		}
+		d := r.RHS - s.rhs0[i]
+		if d == 0 {
+			continue
+		}
+		if sc < 0 {
+			return false
+		}
+		for k := 0; k < s.m; k++ {
+			s.btab[k] += d * s.a[k*s.stride+sc]
+		}
+		s.rhs0[i] = r.RHS
+	}
+	// New bounds and consistent nonbasic statuses; no dual check — the
+	// caller recomputes z for the new objective, and the primal phase does
+	// not need dual feasibility at its start.
+	if !s.normalizeNonbasic(p, s.nreal, false) {
+		return false
+	}
+	s.computeXB()
+	s.iters = 0
+	return true
+}
+
+// computeXB rebuilds the basic values from the transformed RHS and the
+// current nonbasic point: xB = B⁻¹b − Σ_nonbasic (B⁻¹A_j)·value_j.
+func (s *simplex) computeXB() {
 	copy(s.xB, s.btab)
 	for j := 0; j < s.width; j++ {
 		if s.status[j] == statBasic {
@@ -818,17 +909,30 @@ func (s *simplex) warmApply(p *Problem) bool {
 			s.xB[i] -= s.a[i*s.stride+j] * v
 		}
 	}
-	s.iters = 0
+}
+
+// primalFeasible reports whether every basic value sits within its column's
+// bounds (to feasTol).
+func (s *simplex) primalFeasible() bool {
+	for i := 0; i < s.m; i++ {
+		bi := s.basis[i]
+		if s.xB[i] < s.lo[bi]-feasTol || s.xB[i] > s.hi[bi]+feasTol {
+			return false
+		}
+	}
 	return true
 }
 
-// solveWarm re-optimizes after warmApply: dual simplex back to primal
-// feasibility, then a primal cleanup pass (a no-op when the dual run ends
-// at an optimal point, which is the common case).
-func (s *simplex) solveWarm() Status {
-	st := s.dual(s.nreal)
-	if st != Optimal {
-		return st
+// repriceCost installs p's (possibly changed) objective into the engine and
+// recomputes the reduced costs (z = c − c_B·B⁻¹A) — the second stage of the
+// re-pricing warm start, run once the point is primal feasible.
+func (s *simplex) repriceCost(p *Problem) {
+	objSign := 1.0
+	if p.sense == Maximize {
+		objSign = -1
 	}
-	return s.primal(s.nreal)
+	for j := 0; j < s.nstruct; j++ {
+		s.cost[j] = objSign * p.obj[j]
+	}
+	s.computeZ(s.cost)
 }

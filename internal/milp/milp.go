@@ -90,6 +90,13 @@ type Options struct {
 	// DisableWarmStart solves every node relaxation from scratch instead
 	// of warm starting from the parent basis (ablation/debugging).
 	DisableWarmStart bool
+	// RepriceWarmStart carries the root LP basis *across* Solve calls on a
+	// reused Problem: when only the objective, RHS, and variable bounds
+	// changed since the previous Solve (the scheduler's cached round model),
+	// the root relaxation is revived by re-pricing (lp.SolveReprice) instead
+	// of solving cold. Answers never change — any doubt falls back to a cold
+	// solve — only the root simplex iteration count does.
+	RepriceWarmStart bool
 	// DisableHeuristic turns off the root diving/rounding heuristic.
 	DisableHeuristic bool
 	// Seed makes tie-breaking in the diving heuristic deterministic; the
@@ -714,7 +721,15 @@ func (p *Problem) Solve(opts Options) (*Solution, error) {
 	if opts.DisableWarmStart {
 		rootBasis = nil
 	}
-	rootSol, err := p.base.SolveWarm(rootBasis)
+	var rootSol *lp.Solution
+	var err error
+	if opts.RepriceWarmStart {
+		// Cross-round warm start: revive the previous Solve's root basis by
+		// re-pricing the changed objective/RHS in place.
+		rootSol, err = p.base.SolveReprice(rootBasis)
+	} else {
+		rootSol, err = p.base.SolveWarm(rootBasis)
+	}
 	if err != nil {
 		return nil, err
 	}

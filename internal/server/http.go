@@ -1,0 +1,152 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"unicode"
+)
+
+// isJSONArray reports whether the body's first non-space byte opens an array.
+func isJSONArray(body []byte) bool {
+	for _, b := range body {
+		if unicode.IsSpace(rune(b)) {
+			continue
+		}
+		return b == '['
+	}
+	return false
+}
+
+// API paths served by Handler.
+const (
+	PathJobs      = "/v1/jobs"
+	PathDecisions = "/v1/decisions"
+	PathStatus    = "/v1/status"
+	PathMetrics   = "/metrics"
+)
+
+// submitResponse is the POST /v1/jobs reply.
+type submitResponse struct {
+	Accepted []int  `json:"accepted"`
+	Error    string `json:"error,omitempty"`
+}
+
+// decisionsResponse is the GET /v1/decisions reply.
+type decisionsResponse struct {
+	Decisions []Decision `json:"decisions"`
+	// Next is the cursor to pass as ?since= on the next poll.
+	Next uint64 `json:"next"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs       — submit one JobSpec or an array of them
+//	GET  /v1/decisions  — decision log; ?since=<seq>&limit=<n>
+//	GET  /v1/status     — service snapshot
+//	GET  /metrics       — Prometheus text metrics
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathJobs, s.handleJobs)
+	mux.HandleFunc(PathDecisions, s.handleDecisions)
+	mux.HandleFunc(PathStatus, s.handleStatus)
+	mux.HandleFunc(PathMetrics, s.handleMetrics)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// handleJobs ingests one JobSpec, or an array of them atomically-per-job
+// (the response lists the ids accepted before the first failure).
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, submitResponse{Error: "POST only"})
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, submitResponse{Error: fmt.Sprintf("reading body: %v", err)})
+		return
+	}
+	var specs []JobSpec
+	if isJSONArray(body) {
+		if err := json.Unmarshal(body, &specs); err != nil {
+			writeJSON(w, http.StatusBadRequest, submitResponse{Error: fmt.Sprintf("decoding jobs: %v", err)})
+			return
+		}
+	} else {
+		var one JobSpec
+		if err := json.Unmarshal(body, &one); err != nil {
+			writeJSON(w, http.StatusBadRequest, submitResponse{Error: fmt.Sprintf("decoding job: %v", err)})
+			return
+		}
+		specs = []JobSpec{one}
+	}
+	ids := make([]int, 0, len(specs))
+	for _, spec := range specs {
+		id, err := s.Submit(spec)
+		if err != nil {
+			code := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrQueueFull):
+				code = http.StatusTooManyRequests
+			case errors.Is(err, ErrStopped):
+				code = http.StatusServiceUnavailable
+			}
+			writeJSON(w, code, submitResponse{Accepted: ids, Error: err.Error()})
+			return
+		}
+		ids = append(ids, id)
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{Accepted: ids})
+}
+
+func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, submitResponse{Error: "GET only"})
+		return
+	}
+	q := r.URL.Query()
+	var since uint64
+	var limit int
+	if v := q.Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, submitResponse{Error: "bad since"})
+			return
+		}
+		since = n
+	}
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, submitResponse{Error: "bad limit"})
+			return
+		}
+		limit = n
+	}
+	ds := s.Decisions(since, limit)
+	next := since
+	if len(ds) > 0 {
+		next = ds[len(ds)-1].Seq
+	}
+	writeJSON(w, http.StatusOK, decisionsResponse{Decisions: ds, Next: next})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		writeJSON(w, http.StatusMethodNotAllowed, submitResponse{Error: "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Status())
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"waterwise/internal/region"
+)
+
+// handleMetrics serves Prometheus text-format gauges and counters for the
+// service: ingest, rounds, decisions, queue depth, and — when the scheduler
+// exposes them — solver instrumentation (nodes, simplex iterations,
+// warm-start hit rate).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	st := s.Status()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b []byte
+	counter := func(name, help string, v float64) {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)...)
+	}
+	gauge := func(name, help string, v float64) {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)...)
+	}
+	counter("waterwise_jobs_accepted_total", "Jobs accepted into the ingest queue.", float64(st.Accepted))
+	counter("waterwise_jobs_rejected_total", "Jobs rejected (backpressure, validation, duplicates).", float64(st.Rejected))
+	counter("waterwise_rounds_total", "Scheduling rounds run.", float64(st.Rounds))
+	counter("waterwise_decisions_total", "Placement decisions committed.", float64(st.Decisions))
+	counter("waterwise_jobs_unscheduled_total", "Jobs abandoned without a placement.", float64(st.Unscheduled))
+	gauge("waterwise_queue_pending", "Jobs awaiting a placement decision.", float64(st.Pending))
+	gauge("waterwise_queue_future", "Accepted jobs not yet due for a round.", float64(st.Future))
+	gauge("waterwise_queue_cap", "Ingest queue capacity (backpressure threshold).", float64(st.QueueCap))
+	gauge("waterwise_round_overhead_mean_ms", "Mean per-round scheduler invocation cost (Fig. 13).", st.RoundOverheadMeanMs)
+	// Per-region free servers, in stable region order.
+	ids := make([]string, 0, len(st.Free))
+	for id := range st.Free {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	b = append(b, "# HELP waterwise_region_free_servers Servers free per region at the simulated clock.\n# TYPE waterwise_region_free_servers gauge\n"...)
+	for _, id := range ids {
+		b = append(b, fmt.Sprintf("waterwise_region_free_servers{region=%q} %d\n", id, st.Free[region.ID(id)])...)
+	}
+	if st.Solver != nil {
+		counter("waterwise_solver_nodes_total", "Branch-and-bound nodes across all rounds.", float64(st.Solver.Nodes))
+		counter("waterwise_solver_simplex_iters_total", "Simplex pivots across all rounds.", float64(st.Solver.SimplexIters))
+		counter("waterwise_solver_warm_starts_total", "LP solves served by a warm start.", float64(st.Solver.WarmStarts))
+		counter("waterwise_solver_cold_starts_total", "LP solves run from scratch.", float64(st.Solver.ColdStarts))
+		counter("waterwise_solver_wall_seconds_total", "Aggregate solver wall time.", st.Solver.Wall.Seconds())
+	}
+	_, _ = w.Write(b)
+}

@@ -1,0 +1,655 @@
+// Package server implements the online scheduling service: the long-running
+// form of the WaterWise Optimization Decision Controller. Where cluster.Run
+// replays a static trace offline, the server ingests a continuous stream of
+// job arrivals over HTTP/JSON, micro-batches them into scheduling rounds on
+// a configurable cadence, and feeds them to the same incremental simulator
+// (cluster.Sim) and scheduler stack the offline path uses — so an
+// accelerated-time replay of a trace through the service reproduces
+// cluster.Run decision for decision.
+//
+// The service clock runs in simulated time. In paced mode (TimeScale > 0)
+// the simulated clock advances TimeScale simulated seconds per wall second
+// and rounds fire on a wall timer; in accelerated mode (TimeScale == 0)
+// rounds fire back to back as fast as the solver allows, fast-forwarding
+// over idle gaps — the mode for replay, benchmarking, and tests.
+//
+// Ingest is bounded: QueueCap caps the number of jobs queued ahead of
+// placement, and Submit rejects (ErrQueueFull) once it is reached —
+// backpressure the HTTP layer translates to 429 Too Many Requests.
+package server
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"waterwise/internal/cluster"
+	"waterwise/internal/footprint"
+	"waterwise/internal/milp"
+	"waterwise/internal/region"
+	"waterwise/internal/trace"
+	"waterwise/internal/transfer"
+	"waterwise/internal/units"
+	"waterwise/internal/workload"
+)
+
+// Config parameterizes the scheduling service.
+type Config struct {
+	// Env is the environment (regions, grids, weather) decisions read.
+	Env *region.Environment
+	// Net is the inter-region transfer model (default transfer.New()).
+	Net *transfer.Model
+	// FP is the footprint model (default: unperturbed).
+	FP *footprint.Model
+	// Scheduler decides placements each round.
+	Scheduler cluster.Scheduler
+	// Tolerance is the delay tolerance TOL as a fraction (e.g. 0.5).
+	Tolerance float64
+	// Round is the micro-batching cadence in simulated time (default 1m).
+	Round time.Duration
+	// TimeScale maps wall time to simulated time: simulated seconds per
+	// wall second. 1 runs in real time, 60 packs a simulated hour into a
+	// wall minute; 0 (the default) is accelerated mode — rounds run back to
+	// back with no pacing, fast-forwarding over idle stretches.
+	TimeScale float64
+	// QueueCap bounds the jobs queued ahead of placement (pending rounds +
+	// not-yet-due arrivals). Submit rejects once reached. Default 65536.
+	QueueCap int
+	// DecisionLogCap bounds the in-memory decision log ring (default 65536).
+	// Older decisions are dropped from the log (never from the accounting).
+	DecisionLogCap int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Env == nil {
+		return c, errors.New("server: nil environment")
+	}
+	if c.Scheduler == nil {
+		return c, errors.New("server: nil scheduler")
+	}
+	if c.Net == nil {
+		c.Net = transfer.New()
+	}
+	if c.FP == nil {
+		c.FP = footprint.NewModel(footprint.NoPerturbation)
+	}
+	if c.Round <= 0 {
+		c.Round = time.Minute
+	}
+	if c.TimeScale < 0 {
+		return c, fmt.Errorf("server: negative time scale %g", c.TimeScale)
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 65536
+	}
+	if c.DecisionLogCap <= 0 {
+		c.DecisionLogCap = 65536
+	}
+	return c, nil
+}
+
+// secondsToDuration converts float seconds to a Duration, rounding to the
+// nearest nanosecond so millisecond-quantized wire values map exactly.
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(math.Round(s * float64(time.Second)))
+}
+
+// ErrQueueFull is returned by Submit when the ingest queue is at QueueCap —
+// the service's backpressure signal.
+var ErrQueueFull = errors.New("server: ingest queue full")
+
+// ErrStopped is returned by Submit after Stop.
+var ErrStopped = errors.New("server: stopped")
+
+// JobSpec is one job submission. Zero estimate fields default to the
+// benchmark profile's means (what the controller would know from history);
+// zero actuals default to the estimates.
+type JobSpec struct {
+	// ID is the client-assigned job id; nil auto-assigns.
+	ID *int `json:"id,omitempty"`
+	// Benchmark names the workload profile (Table 1).
+	Benchmark string `json:"benchmark"`
+	// Home is the submitting region.
+	Home region.ID `json:"home"`
+	// Submit is the arrival instant in simulated time; zero means "now"
+	// (live mode). Replay clients pass trace timestamps.
+	Submit time.Time `json:"submit,omitempty"`
+	// DurationSec and EnergyKWh are the ground-truth actuals.
+	DurationSec float64 `json:"duration_s,omitempty"`
+	EnergyKWh   float64 `json:"energy_kwh,omitempty"`
+	// EstDurationSec and EstEnergyKWh are the controller's estimates.
+	EstDurationSec float64 `json:"est_duration_s,omitempty"`
+	EstEnergyKWh   float64 `json:"est_energy_kwh,omitempty"`
+}
+
+// Decision is one placement, as exposed by the decision log.
+type Decision struct {
+	// Seq is the log sequence number (monotonic from 1).
+	Seq uint64 `json:"seq"`
+	// JobID identifies the placed job.
+	JobID int `json:"job_id"`
+	// Region is the placement.
+	Region region.ID `json:"region"`
+	// Round is the simulated time of the deciding round.
+	Round time.Time `json:"round"`
+	// Start and Finish bound the execution in simulated time.
+	Start  time.Time `json:"start"`
+	Finish time.Time `json:"finish"`
+	// CarbonG and WaterL are the job's accounted footprint (compute+comm).
+	CarbonG float64 `json:"carbon_g"`
+	WaterL  float64 `json:"water_l"`
+	// DecidedWall is the wall-clock instant the round committed, for
+	// client-side decision-latency measurement.
+	DecidedWall time.Time `json:"decided_wall"`
+}
+
+// Status is a point-in-time service snapshot.
+type Status struct {
+	Scheduler   string    `json:"scheduler"`
+	SimNow      time.Time `json:"sim_now"`
+	Round       string    `json:"round"`
+	TimeScale   float64   `json:"time_scale"`
+	Pending     int       `json:"pending"`
+	Future      int       `json:"future"`
+	QueueCap    int       `json:"queue_cap"`
+	Accepted    uint64    `json:"accepted"`
+	Rejected    uint64    `json:"rejected"`
+	Rounds      uint64    `json:"rounds"`
+	Decisions   uint64    `json:"decisions"`
+	Unscheduled int       `json:"unscheduled"`
+	// Free is the per-region free server count at SimNow.
+	Free map[region.ID]int `json:"free"`
+	// RoundOverheadMeanMs is the mean scheduler invocation cost (Fig. 13's
+	// quantity) across all rounds so far.
+	RoundOverheadMeanMs float64 `json:"round_overhead_mean_ms"`
+	// Solver carries branch-and-bound instrumentation when the scheduler
+	// exposes it (the WaterWise controller does).
+	Solver *milp.Stats `json:"solver,omitempty"`
+	// Err reports a scheduler failure that halted the round loop.
+	Err string `json:"err,omitempty"`
+}
+
+// solverStatser is implemented by schedulers that expose branch-and-bound
+// instrumentation (core.Scheduler).
+type solverStatser interface{ SolverStats() milp.Stats }
+
+// futureHeap orders not-yet-due jobs by (Submit, ID) — the same order the
+// offline replay ingests a sorted trace in.
+type futureHeap []*trace.Job
+
+func (h futureHeap) Len() int { return len(h) }
+func (h futureHeap) Less(i, j int) bool {
+	if h[i].Submit.Equal(h[j].Submit) {
+		return h[i].ID < h[j].ID
+	}
+	return h[i].Submit.Before(h[j].Submit)
+}
+func (h futureHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *futureHeap) Push(x interface{}) { *h = append(*h, x.(*trace.Job)) }
+func (h *futureHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Server is the online scheduling service. Construct with New, attach the
+// HTTP API via Handler, start the round loop with Start, and stop with Stop.
+type Server struct {
+	cfg Config
+
+	mu   sync.Mutex
+	cond *sync.Cond
+	sim  *cluster.Sim
+	// nextK is the index of the next scheduling round: round k fires at
+	// simulated time Env.Start + k*Round.
+	nextK int64
+	// simNow is the simulated time of the most recent round (Env.Start
+	// before any round has run).
+	simNow time.Time
+	// future holds accepted jobs whose Submit lies beyond simNow.
+	future futureHeap
+	// live tracks ids of jobs accepted but not yet decided (duplicate
+	// rejection); autoID assigns ids to spec-less submissions.
+	live   map[int]struct{}
+	autoID int
+
+	decisions []Decision // ring, capacity DecisionLogCap
+	decHead   int        // index of the oldest entry once the ring wrapped
+	decSeq    uint64
+
+	accepted, rejected, rounds, decided uint64
+	unscheduled                         int
+	overheadSum                         time.Duration
+
+	started  bool
+	stopped  bool
+	stopCh   chan struct{}
+	loopDone chan struct{}
+	runErr   error
+
+	// wallStart anchors the paced clock: simulated time advances TimeScale
+	// seconds per wall second from Env.Start at wallStart.
+	wallStart time.Time
+}
+
+// New validates cfg and returns a stopped service; call Start to begin
+// scheduling rounds.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sim, err := cluster.NewSim(cluster.Config{
+		Env: cfg.Env, Net: cfg.Net, FP: cfg.FP,
+		Tick: cfg.Round, Tolerance: cfg.Tolerance,
+	}, cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		sim:      sim,
+		simNow:   cfg.Env.Start,
+		live:     make(map[int]struct{}),
+		stopCh:   make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// simAt maps a wall instant to the paced simulated clock. Accelerated mode
+// has no wall mapping; it reports the round clock instead.
+func (s *Server) simAt(wall time.Time) time.Time {
+	if s.cfg.TimeScale == 0 || s.wallStart.IsZero() {
+		return s.simNow
+	}
+	return s.cfg.Env.Start.Add(time.Duration(float64(wall.Sub(s.wallStart)) * s.cfg.TimeScale))
+}
+
+// Submit accepts one job into the ingest queue. The returned id is the
+// job's identity in the decision log. Rejections: ErrQueueFull
+// (backpressure), ErrStopped, duplicate ids, unknown benchmarks or regions,
+// and submit instants outside the environment horizon.
+func (s *Server) Submit(spec JobSpec) (int, error) {
+	job, err := s.buildJob(spec)
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		s.rejected++
+		return 0, ErrStopped
+	}
+	if len(s.future)+s.sim.Pending() >= s.cfg.QueueCap {
+		s.rejected++
+		return 0, ErrQueueFull
+	}
+	if spec.ID != nil {
+		if _, dup := s.live[job.ID]; dup {
+			s.rejected++
+			return 0, fmt.Errorf("server: job id %d already queued", job.ID)
+		}
+	} else {
+		job.ID = s.autoID
+	}
+	if job.ID >= s.autoID {
+		s.autoID = job.ID + 1
+	}
+	if job.Submit.IsZero() {
+		job.Submit = s.simAt(time.Now())
+		if job.Submit.Before(s.cfg.Env.Start) {
+			job.Submit = s.cfg.Env.Start
+		}
+	}
+	if job.Submit.Before(s.cfg.Env.Start) || !job.Submit.Before(s.cfg.Env.End()) {
+		s.rejected++
+		return 0, fmt.Errorf("server: job submit %v outside environment horizon [%v, %v)",
+			job.Submit, s.cfg.Env.Start, s.cfg.Env.End())
+	}
+	s.live[job.ID] = struct{}{}
+	heap.Push(&s.future, job)
+	s.accepted++
+	s.cond.Broadcast() // wake an idle accelerated loop
+	return job.ID, nil
+}
+
+// buildJob converts a spec into a trace job, defaulting estimates to the
+// benchmark profile and actuals to the estimates.
+func (s *Server) buildJob(spec JobSpec) (*trace.Job, error) {
+	prof, err := workload.Lookup(spec.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Env.Region(spec.Home) == nil {
+		return nil, fmt.Errorf("server: unknown home region %q", spec.Home)
+	}
+	estDur := secondsToDuration(spec.EstDurationSec)
+	if estDur <= 0 {
+		estDur = prof.MeanDuration
+	}
+	estEnergy := spec.EstEnergyKWh
+	if estEnergy <= 0 {
+		estEnergy = float64(prof.MeanEnergy())
+	}
+	dur := secondsToDuration(spec.DurationSec)
+	if dur <= 0 {
+		dur = estDur
+	}
+	energy := spec.EnergyKWh
+	if energy <= 0 {
+		energy = estEnergy
+	}
+	job := &trace.Job{
+		Benchmark: spec.Benchmark, Home: spec.Home,
+		Duration: dur, EstDuration: estDur,
+		Energy: units.KWh(energy), EstEnergy: units.KWh(estEnergy),
+	}
+	if !spec.Submit.IsZero() {
+		job.Submit = spec.Submit.UTC()
+	}
+	if spec.ID != nil {
+		job.ID = *spec.ID
+	}
+	return job, nil
+}
+
+// Start launches the round loop. Jobs may be submitted before Start —
+// replay clients queue the whole trace first so the accelerated clock
+// cannot outrun the feed.
+func (s *Server) Start() {
+	s.mu.Lock()
+	if s.started || s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	go s.run()
+}
+
+// Stop halts the round loop, abandons still-queued jobs, and waits for the
+// loop to exit. Idempotent.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	started := s.started
+	if s.stopped {
+		s.mu.Unlock()
+		if started {
+			<-s.loopDone
+		}
+		return
+	}
+	s.stopped = true
+	close(s.stopCh)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if started {
+		<-s.loopDone
+	}
+	s.mu.Lock()
+	// Everything still queued — pending rounds and not-yet-due arrivals —
+	// is abandoned into the result's Unscheduled list.
+	for len(s.future) > 0 {
+		j := heap.Pop(&s.future).(*trace.Job)
+		s.sim.Submit(j, s.simNow)
+	}
+	s.abandonLocked()
+	s.mu.Unlock()
+}
+
+// abandonLocked abandons every pending job, releasing their ids and
+// updating the unscheduled counter. Called with mu held.
+func (s *Server) abandonLocked() {
+	for _, j := range s.sim.Abandon() {
+		delete(s.live, j.ID)
+		s.unscheduled++
+	}
+}
+
+// Drain blocks until the ingest queue and pending set are empty (the
+// accelerated replay's "trace fully scheduled" condition), the round loop
+// fails, or the context expires.
+func (s *Server) Drain(ctx context.Context) error {
+	wake := context.AfterFunc(ctx, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer wake()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.future)+s.sim.Pending() > 0 && !s.stopped && s.runErr == nil && ctx.Err() == nil {
+		s.cond.Wait()
+	}
+	if s.runErr != nil {
+		return s.runErr
+	}
+	return ctx.Err()
+}
+
+// Result returns the accumulated accounting (the same cluster.Result the
+// offline replay produces). Call after Stop or Drain for a settled view.
+func (s *Server) Result() *cluster.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sim.Result()
+}
+
+// Err reports a scheduler failure that halted the round loop, if any.
+func (s *Server) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runErr
+}
+
+// Decisions returns up to limit logged decisions with Seq > since, oldest
+// first (limit <= 0 means all). The log is a bounded ring: decisions older
+// than the last DecisionLogCap may be gone.
+func (s *Server) Decisions(since uint64, limit int) []Decision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.decisions)
+	out := make([]Decision, 0, 64)
+	for i := 0; i < n; i++ {
+		d := s.decisions[(s.decHead+i)%n]
+		if d.Seq <= since {
+			continue
+		}
+		out = append(out, d)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Status returns a point-in-time service snapshot.
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Status{
+		Scheduler: s.cfg.Scheduler.Name(),
+		SimNow:    s.simNow,
+		Round:     s.cfg.Round.String(),
+		TimeScale: s.cfg.TimeScale,
+		Pending:   s.sim.Pending(),
+		Future:    len(s.future),
+		QueueCap:  s.cfg.QueueCap,
+		Accepted:  s.accepted,
+		Rejected:  s.rejected,
+		Rounds:    s.rounds,
+		Decisions: s.decided,
+		Free:      s.sim.Free(s.simNow),
+	}
+	st.Unscheduled = s.unscheduled
+	if s.rounds > 0 {
+		st.RoundOverheadMeanMs = float64(s.overheadSum.Microseconds()) / 1000 / float64(s.rounds)
+	}
+	if ss, ok := s.cfg.Scheduler.(solverStatser); ok {
+		stats := ss.SolverStats()
+		st.Solver = &stats
+	}
+	if s.runErr != nil {
+		st.Err = s.runErr.Error()
+	}
+	return st
+}
+
+// run is the round loop. Accelerated mode steps rounds back to back,
+// fast-forwarding over idle gaps and parking on the condition variable when
+// the queue is empty; paced mode fires rounds on a wall timer.
+func (s *Server) run() {
+	defer close(s.loopDone)
+	if s.cfg.TimeScale == 0 {
+		s.runAccelerated()
+		return
+	}
+	s.runPaced()
+}
+
+func (s *Server) runAccelerated() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.stopped || s.runErr != nil {
+			return
+		}
+		k, ok := s.nextRoundLocked()
+		if !ok {
+			s.cond.Wait()
+			continue
+		}
+		s.nextK = k
+		s.roundLocked()
+		// Yield the lock between rounds: a long drain must not starve the
+		// HTTP endpoints (Submit/Status/Decisions) for its whole duration.
+		// Go's mutex hands off to waiters that have queued >1ms, so this
+		// bounds their latency to about one round.
+		s.mu.Unlock()
+		s.mu.Lock()
+	}
+}
+
+func (s *Server) runPaced() {
+	s.mu.Lock()
+	s.wallStart = time.Now()
+	wallRound := time.Duration(float64(s.cfg.Round) / s.cfg.TimeScale)
+	if wallRound < time.Millisecond {
+		// An extreme TimeScale would truncate the tick to zero (which
+		// panics time.NewTicker); at sub-millisecond pacing the accelerated
+		// mode is the right tool anyway.
+		wallRound = time.Millisecond
+	}
+	s.mu.Unlock()
+	tick := time.NewTicker(wallRound)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-tick.C:
+		}
+		s.mu.Lock()
+		if s.stopped || s.runErr != nil {
+			s.mu.Unlock()
+			return
+		}
+		// Derive the round index from the wall clock rather than counting
+		// ticks: a slow round (or GC stall) drops ticker ticks, and a
+		// tick-counted clock would lag the wall-anchored simAt stamping of
+		// live submissions forever. Missed rounds coalesce into the next.
+		k := int64(float64(time.Since(s.wallStart)) * s.cfg.TimeScale / float64(s.cfg.Round))
+		if k > s.nextK {
+			s.nextK = k
+		}
+		s.roundLocked()
+		s.mu.Unlock()
+	}
+}
+
+// nextRoundLocked picks the next round index to run in accelerated mode:
+// the very next round while jobs are pending (deferred jobs are re-offered
+// every round, as offline), otherwise the round aligned at or after the
+// earliest queued arrival. No work → no round.
+func (s *Server) nextRoundLocked() (int64, bool) {
+	if s.sim.Pending() > 0 {
+		return s.nextK, true
+	}
+	if len(s.future) > 0 {
+		due := s.future[0].Submit.Sub(s.cfg.Env.Start)
+		k := int64((due + s.cfg.Round - 1) / s.cfg.Round)
+		if k < s.nextK {
+			k = s.nextK
+		}
+		return k, true
+	}
+	return 0, false
+}
+
+// roundLocked runs scheduling round nextK: ingest due arrivals, step the
+// simulator, log this round's decisions. Called with mu held.
+func (s *Server) roundLocked() {
+	now := s.cfg.Env.Start.Add(time.Duration(s.nextK) * s.cfg.Round)
+	s.simNow = now
+	s.nextK++
+	for len(s.future) > 0 && !s.future[0].Submit.After(now) {
+		job := heap.Pop(&s.future).(*trace.Job)
+		s.sim.Submit(job, now)
+	}
+	if !now.Before(s.cfg.Env.End()) {
+		// The service clock ran off the environment horizon (possible only
+		// with jobs that could never be placed: every accepted submission
+		// lies inside the horizon). Abandon them rather than spin rounds
+		// against an environment with no snapshots — the serving analogue
+		// of the offline replay's MaxDrain cutoff.
+		s.abandonLocked()
+		s.cond.Broadcast()
+		return
+	}
+	if s.sim.Pending() == 0 {
+		s.cond.Broadcast()
+		return
+	}
+	t0 := time.Now()
+	outcomes, err := s.sim.Step(now)
+	s.overheadSum += time.Since(t0)
+	s.rounds++
+	if err != nil {
+		s.runErr = err
+		s.cond.Broadcast()
+		return
+	}
+	wall := time.Now()
+	for i := range outcomes {
+		o := &outcomes[i]
+		delete(s.live, o.Job.ID)
+		s.decSeq++
+		s.decided++
+		s.logDecisionLocked(Decision{
+			Seq: s.decSeq, JobID: o.Job.ID, Region: o.Region,
+			Round: now, Start: o.Start, Finish: o.Finish,
+			CarbonG:     float64(o.Compute.Carbon() + o.Comm.Carbon()),
+			WaterL:      float64(o.Compute.Water() + o.Comm.Water()),
+			DecidedWall: wall,
+		})
+	}
+	s.cond.Broadcast()
+}
+
+// logDecisionLocked appends to the bounded decision ring.
+func (s *Server) logDecisionLocked(d Decision) {
+	if len(s.decisions) < s.cfg.DecisionLogCap {
+		s.decisions = append(s.decisions, d)
+		return
+	}
+	s.decisions[s.decHead] = d
+	s.decHead = (s.decHead + 1) % len(s.decisions)
+}

@@ -1,0 +1,468 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"waterwise/internal/cluster"
+	"waterwise/internal/core"
+	"waterwise/internal/energy"
+	"waterwise/internal/region"
+	"waterwise/internal/trace"
+)
+
+var testStart = time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
+
+func testEnv(t *testing.T) *region.Environment {
+	t.Helper()
+	env, err := region.NewEnvironment(region.Defaults(), energy.Table, testStart, 24*3, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func newScheduler(t *testing.T, reprice bool) *core.Scheduler {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.Solver.RepriceWarmStart = reprice
+	ww, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ww
+}
+
+// genTrace produces a millisecond-quantized trace (as the CSV wire format
+// carries) so JSON float-seconds round exactly.
+func genTrace(t *testing.T, env *region.Environment, jobsPerDay float64, hours int) []*trace.Job {
+	t.Helper()
+	jobs, err := trace.GenerateBorgLike(trace.Config{
+		Start: testStart, Duration: time.Duration(hours) * time.Hour,
+		JobsPerDay: jobsPerDay, Regions: env.IDs(), DurationScale: 0.5, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.WriteCSV(&buf, jobs); err != nil {
+		t.Fatal(err)
+	}
+	jobs, err = trace.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+func specFor(j *trace.Job) JobSpec {
+	id := j.ID
+	return JobSpec{
+		ID: &id, Benchmark: j.Benchmark, Home: j.Home, Submit: j.Submit,
+		DurationSec:    j.Duration.Seconds(),
+		EnergyKWh:      float64(j.Energy),
+		EstDurationSec: j.EstDuration.Seconds(),
+		EstEnergyKWh:   float64(j.EstEnergy),
+	}
+}
+
+// TestAcceleratedReplayMatchesOfflineRun is the deterministic equivalence
+// acceptance test: replaying a generated trace through the service's HTTP
+// API in accelerated-time mode must produce exactly the placements,
+// start/finish times, and footprints of the offline cluster.Run at the same
+// cadence.
+func TestAcceleratedReplayMatchesOfflineRun(t *testing.T) {
+	const round = time.Minute
+	env := testEnv(t)
+	jobs := genTrace(t, env, 6000, 24)
+
+	offEnv := testEnv(t)
+	want, err := cluster.Run(cluster.Config{Env: offEnv, Tolerance: 0.5, Tick: round}, newScheduler(t, false), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := New(Config{
+		Env: env, Scheduler: newScheduler(t, false), Tolerance: 0.5, Round: round,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Stop()
+
+	// Queue the whole trace through POST /v1/jobs first, then start the
+	// round loop: in accelerated mode the clock must not outrun the feed.
+	const batch = 500
+	for i := 0; i < len(jobs); i += batch {
+		end := i + batch
+		if end > len(jobs) {
+			end = len(jobs)
+		}
+		specs := make([]JobSpec, 0, end-i)
+		for _, j := range jobs[i:end] {
+			specs = append(specs, specFor(j))
+		}
+		body, err := json.Marshal(specs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+PathJobs, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sr submitResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit batch at %d: status %d, error %q", i, resp.StatusCode, sr.Error)
+		}
+	}
+	srv.Start()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	got := srv.Result()
+
+	if len(got.Outcomes) != len(want.Outcomes) {
+		t.Fatalf("outcomes: server %d, offline %d", len(got.Outcomes), len(want.Outcomes))
+	}
+	for i := range want.Outcomes {
+		w, g := want.Outcomes[i], got.Outcomes[i]
+		if w.Job.ID != g.Job.ID || w.Region != g.Region {
+			t.Fatalf("outcome %d: server job %d->%s, offline job %d->%s",
+				i, g.Job.ID, g.Region, w.Job.ID, w.Region)
+		}
+		if !w.Start.Equal(g.Start) || !w.Finish.Equal(g.Finish) {
+			t.Fatalf("job %d: server [%v,%v], offline [%v,%v]",
+				w.Job.ID, g.Start, g.Finish, w.Start, w.Finish)
+		}
+		if w.Compute != g.Compute || w.Comm != g.Comm {
+			t.Fatalf("job %d: footprints differ: server %+v/%+v, offline %+v/%+v",
+				w.Job.ID, g.Compute, g.Comm, w.Compute, w.Comm)
+		}
+		if w.Violated != g.Violated {
+			t.Fatalf("job %d: violation flag differs", w.Job.ID)
+		}
+	}
+	if len(got.Ticks) != len(want.Ticks) {
+		t.Fatalf("rounds: server %d, offline %d", len(got.Ticks), len(want.Ticks))
+	}
+	for i := range want.Ticks {
+		if !got.Ticks[i].At.Equal(want.Ticks[i].At) || got.Ticks[i].Decided != want.Ticks[i].Decided || got.Ticks[i].Batch != want.Ticks[i].Batch {
+			t.Fatalf("round %d: server %+v, offline %+v", i, got.Ticks[i], want.Ticks[i])
+		}
+	}
+	if len(got.Unscheduled) != 0 || len(want.Unscheduled) != 0 {
+		t.Fatalf("unscheduled: server %d, offline %d", len(got.Unscheduled), len(want.Unscheduled))
+	}
+}
+
+// TestReplayWithRepriceWarmStart replays the same trace with the cross-round
+// warm start enabled and asserts the service still drains every job while
+// serving most rounds from a revived basis (correctness of the repriced
+// answers is covered by the core/milp/lp differential suites).
+func TestReplayWithRepriceWarmStart(t *testing.T) {
+	const round = time.Minute
+	env := testEnv(t)
+	jobs := genTrace(t, env, 6000, 24)
+	ww := newScheduler(t, true)
+	srv, err := New(Config{Env: env, Scheduler: ww, Tolerance: 0.5, Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	for _, j := range jobs {
+		if _, err := srv.Submit(specFor(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res := srv.Result()
+	if len(res.Outcomes) != len(jobs) {
+		t.Fatalf("scheduled %d of %d jobs", len(res.Outcomes), len(jobs))
+	}
+	stats := ww.SolverStats()
+	if stats.WarmStarts == 0 {
+		t.Error("no round was served by the cross-round warm start")
+	}
+	t.Logf("rounds=%d warm=%d cold=%d iters=%d", stats.Nodes, stats.WarmStarts, stats.ColdStarts, stats.SimplexIters)
+}
+
+func TestBackpressure(t *testing.T) {
+	env := testEnv(t)
+	srv, err := New(Config{
+		Env: env, Scheduler: newScheduler(t, false), Tolerance: 0.5,
+		Round: time.Minute, QueueCap: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not started: the queue only fills.
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	post := func(spec JobSpec) int {
+		body, _ := json.Marshal(spec)
+		resp, err := http.Post(ts.URL+PathJobs, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr submitResponse
+		_ = json.NewDecoder(resp.Body).Decode(&sr)
+		return resp.StatusCode
+	}
+	spec := JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(time.Hour)}
+	for i := 0; i < 3; i++ {
+		if code := post(spec); code != http.StatusAccepted {
+			t.Fatalf("submit %d: status %d", i, code)
+		}
+	}
+	if code := post(spec); code != http.StatusTooManyRequests {
+		t.Fatalf("over-cap submit: status %d, want 429", code)
+	}
+	st := srv.Status()
+	if st.Accepted != 3 || st.Rejected != 1 {
+		t.Fatalf("accepted=%d rejected=%d", st.Accepted, st.Rejected)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	env := testEnv(t)
+	srv, err := New(Config{Env: env, Scheduler: newScheduler(t, false), Tolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"unknown benchmark", JobSpec{Benchmark: "nope", Home: region.Zurich, Submit: testStart}},
+		{"unknown region", JobSpec{Benchmark: "canneal", Home: "atlantis", Submit: testStart}},
+		{"before horizon", JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(-time.Hour)}},
+		{"after horizon", JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(100 * 24 * time.Hour)}},
+	}
+	for _, c := range cases {
+		if _, err := srv.Submit(c.spec); err == nil {
+			t.Errorf("%s: accepted, want error", c.name)
+		}
+	}
+	// Duplicate id.
+	id := 7
+	if _, err := srv.Submit(JobSpec{ID: &id, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(JobSpec{ID: &id, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); err == nil {
+		t.Error("duplicate id accepted")
+	}
+}
+
+func TestDecisionsPagingAndStatusAndMetrics(t *testing.T) {
+	env := testEnv(t)
+	srv, err := New(Config{Env: env, Scheduler: newScheduler(t, false), Tolerance: 0.5, Round: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	srv.Start()
+	defer srv.Stop()
+	for i := 0; i < 10; i++ {
+		spec := JobSpec{Benchmark: "canneal", Home: region.Oregon, Submit: testStart.Add(time.Duration(i) * time.Second)}
+		if _, err := srv.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var page decisionsResponse
+	resp, err := http.Get(ts.URL + PathDecisions + "?limit=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&page); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(page.Decisions) != 4 {
+		t.Fatalf("limit=4 returned %d decisions", len(page.Decisions))
+	}
+	total := len(page.Decisions)
+	for page.Next > 0 && total < 100 {
+		resp, err := http.Get(fmt.Sprintf("%s%s?since=%d", ts.URL, PathDecisions, page.Next))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var next decisionsResponse
+		if err := json.NewDecoder(resp.Body).Decode(&next); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if len(next.Decisions) == 0 {
+			break
+		}
+		total += len(next.Decisions)
+		page = next
+	}
+	if total != 10 {
+		t.Fatalf("paged through %d decisions, want 10", total)
+	}
+
+	var st Status
+	resp, err = http.Get(ts.URL + PathStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Decisions != 10 || st.Scheduler != "waterwise" || st.Solver == nil {
+		t.Fatalf("status: %+v", st)
+	}
+
+	resp, err = http.Get(ts.URL + PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	_, _ = raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, key := range []string{
+		"waterwise_jobs_accepted_total 10",
+		"waterwise_decisions_total 10",
+		"waterwise_rounds_total",
+		"waterwise_solver_simplex_iters_total",
+		"waterwise_region_free_servers{region=\"oregon\"}",
+	} {
+		if !strings.Contains(raw.String(), key) {
+			t.Errorf("metrics missing %q:\n%s", key, raw.String())
+		}
+	}
+}
+
+// TestPacedLiveMode runs the service against the wall clock at high time
+// scale: live submissions (no explicit submit instant) must flow through
+// rounds fired by the timer.
+func TestPacedLiveMode(t *testing.T) {
+	env := testEnv(t)
+	srv, err := New(Config{
+		Env: env, Scheduler: newScheduler(t, false), Tolerance: 0.5,
+		Round: time.Minute, TimeScale: 1200, // 20 simulated minutes per wall second
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Stop()
+	for i := 0; i < 5; i++ {
+		if _, err := srv.Submit(JobSpec{Benchmark: "canneal", Home: region.Milan}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Status().Decisions == 5 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := srv.Status().Decisions; got != 5 {
+		t.Fatalf("decided %d of 5 live jobs", got)
+	}
+	for _, d := range srv.Decisions(0, 0) {
+		if d.Region == "" || d.Finish.Before(d.Start) {
+			t.Fatalf("bad decision %+v", d)
+		}
+	}
+}
+
+// TestHorizonAbandon covers the accelerated loop's termination guarantee:
+// a job that can never be placed (all servers busy past the environment
+// horizon) must be abandoned when the service clock reaches the horizon,
+// not spun on forever.
+func TestHorizonAbandon(t *testing.T) {
+	regs := region.Defaults()
+	for _, r := range regs {
+		r.Servers = 1
+	}
+	env, err := region.NewEnvironment(regs, energy.Table, testStart, 24, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Env: env, Scheduler: newScheduler(t, false), Tolerance: 0.5, Round: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	// Six 200-hour jobs into five single-server regions: one can never run
+	// before the 24-hour horizon ends.
+	for i := 0; i < 6; i++ {
+		id := i
+		if _, err := srv.Submit(JobSpec{
+			ID: &id, Benchmark: "canneal", Home: region.Zurich, Submit: testStart,
+			DurationSec: 200 * 3600, EstDurationSec: 200 * 3600,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain did not terminate: %v", err)
+	}
+	st := srv.Status()
+	if st.Decisions != 5 || st.Unscheduled != 1 {
+		t.Fatalf("decided=%d unscheduled=%d, want 5/1", st.Decisions, st.Unscheduled)
+	}
+	if got := len(srv.Result().Unscheduled); got != 1 {
+		t.Fatalf("result unscheduled %d, want 1", got)
+	}
+}
+
+// TestStopAbandonsQueue covers shutdown: jobs still queued at Stop land in
+// Unscheduled and later submissions are refused.
+func TestStopAbandonsQueue(t *testing.T) {
+	env := testEnv(t)
+	srv, err := New(Config{Env: env, Scheduler: newScheduler(t, false), Tolerance: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never started: nothing drains.
+	for i := 0; i < 4; i++ {
+		spec := JobSpec{Benchmark: "canneal", Home: region.Mumbai, Submit: testStart.Add(time.Hour)}
+		if _, err := srv.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Stop()
+	if _, err := srv.Submit(JobSpec{Benchmark: "canneal", Home: region.Mumbai, Submit: testStart}); err == nil {
+		t.Error("submit after stop accepted")
+	}
+	if got := len(srv.Result().Unscheduled); got != 4 {
+		t.Errorf("unscheduled %d, want 4", got)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"waterwise/internal/metrics"
 	"waterwise/internal/region"
 	"waterwise/internal/sched"
+	"waterwise/internal/server"
 	"waterwise/internal/trace"
 	"waterwise/internal/transfer"
 )
@@ -233,6 +234,13 @@ type SchedulerConfig struct {
 	// scratch instead of warm starting from the parent simplex basis
 	// (an ablation switch; answers never change, only solve time).
 	SolverDisableWarmStart bool
+	// CrossRoundWarmStart carries the round MILP's simplex basis across
+	// scheduling rounds: the cached round model re-prices the previous
+	// round's basis in place (new objective, capacity RHS, and forbidden
+	// pairs) instead of solving cold, falling back to a cold solve whenever
+	// the basis cannot be revived. Per-round objectives never change, only
+	// solve effort. Benefits both the online service and offline replays.
+	CrossRoundWarmStart bool
 }
 
 // NewScheduler builds the WaterWise MILP scheduler.
@@ -255,6 +263,7 @@ func NewScheduler(cfg SchedulerConfig) (Scheduler, error) {
 	c.CostWeight = cfg.CostWeight
 	c.Solver.Workers = cfg.SolverWorkers
 	c.Solver.DisableWarmStart = cfg.SolverDisableWarmStart
+	c.Solver.RepriceWarmStart = cfg.CrossRoundWarmStart
 	return core.New(c)
 }
 
@@ -291,6 +300,59 @@ func CompareSavings(base, run *Result) (Savings, error) {
 // Distribution returns the percentage of jobs each region received.
 func Distribution(res *Result, ids []RegionID) map[RegionID]float64 {
 	return metrics.Distribution(res, ids)
+}
+
+// Server is the online scheduling service: streaming job ingest over an
+// HTTP/JSON API, micro-batched scheduling rounds on a configurable cadence
+// with bounded queues and backpressure, and a decision log — the
+// long-running form of the same scheduler stack Environment.Run drives
+// offline. See internal/server for the API surface (Submit, Handler, Start,
+// Stop, Drain, Decisions, Status, Result).
+type Server = server.Server
+
+// Server-facing types of the online service.
+type (
+	// JobSpec is one job submission to the online service.
+	JobSpec = server.JobSpec
+	// ServerDecision is one logged placement decision.
+	ServerDecision = server.Decision
+	// ServerStatus is a point-in-time service snapshot.
+	ServerStatus = server.Status
+)
+
+// ErrQueueFull is the online service's backpressure rejection.
+var ErrQueueFull = server.ErrQueueFull
+
+// ServerConfig configures the online scheduling service. Zero values take
+// the service defaults: a 1-minute round cadence, accelerated time, 65536
+// queue and decision-log capacities.
+type ServerConfig struct {
+	// Tolerance is the delay tolerance TOL as a fraction (e.g. 0.5).
+	Tolerance float64
+	// Round is the micro-batching cadence in simulated time.
+	Round time.Duration
+	// TimeScale maps wall time to simulated time (simulated seconds per
+	// wall second): 1 runs in real time, 0 is accelerated — rounds run back
+	// to back, the replay/benchmark mode.
+	TimeScale float64
+	// QueueCap bounds the ingest queue; submissions beyond it are rejected
+	// with ErrQueueFull (HTTP 429).
+	QueueCap int
+	// DecisionLogCap bounds the in-memory decision log ring.
+	DecisionLogCap int
+}
+
+// NewServer builds the online scheduling service over an environment and a
+// scheduling policy. Call Start to begin rounds, Handler for the HTTP API.
+func NewServer(env *Environment, s Scheduler, cfg ServerConfig) (*Server, error) {
+	if env == nil {
+		return nil, fmt.Errorf("waterwise: nil environment")
+	}
+	return server.New(server.Config{
+		Env: env.env, Net: env.net, FP: env.fp, Scheduler: s,
+		Tolerance: cfg.Tolerance, Round: cfg.Round, TimeScale: cfg.TimeScale,
+		QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
+	})
 }
 
 // Validate sanity-checks an environment+trace pairing before a long run.

@@ -1,6 +1,7 @@
 package waterwise
 
 import (
+	"context"
 	"testing"
 	"time"
 )
@@ -130,6 +131,65 @@ func TestAlibabaTraceAPI(t *testing.T) {
 	}
 	if len(jobs) < 1200 {
 		t.Fatalf("alibaba trace too small: %d", len(jobs))
+	}
+}
+
+// TestOnlineServiceEndToEnd exercises the serving surface the README
+// documents: build an environment and scheduler, start the online service
+// in accelerated mode, stream a generated trace through its HTTP API, drain
+// it, and check the decisions and status.
+func TestOnlineServiceEndToEnd(t *testing.T) {
+	env, err := NewEnvironment(EnvironmentConfig{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewScheduler(SchedulerConfig{CrossRoundWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(env, sched, ServerConfig{Tolerance: 0.5, Round: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	jobs, err := env.GenerateBorgTrace(TraceConfig{Days: 1, JobsPerDay: 800, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		id := j.ID
+		if _, err := srv.Submit(JobSpec{
+			ID: &id, Benchmark: j.Benchmark, Home: j.Home, Submit: j.Submit,
+			DurationSec:    j.Duration.Seconds(),
+			EnergyKWh:      float64(j.Energy),
+			EstDurationSec: j.EstDuration.Seconds(),
+			EstEnergyKWh:   float64(j.EstEnergy),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := srv.Status()
+	if st.Decisions != uint64(len(jobs)) {
+		t.Fatalf("decided %d of %d jobs", st.Decisions, len(jobs))
+	}
+	if st.Solver == nil || st.Solver.WarmStarts == 0 {
+		t.Error("cross-round warm start produced no warm-served rounds")
+	}
+	decisions := srv.Decisions(0, 0)
+	if len(decisions) != len(jobs) {
+		t.Fatalf("decision log has %d entries, want %d", len(decisions), len(jobs))
+	}
+	res := srv.Result()
+	if res.TotalCarbon() <= 0 || res.TotalWater() <= 0 {
+		t.Error("service result has no accounted footprint")
 	}
 }
 

@@ -47,6 +47,11 @@ type Decision struct {
 // Context is everything a Scheduler may consult when deciding. Schedulers
 // other than the explicitly-labelled oracle ones must only read the
 // environment at Now (no future peeking).
+//
+// The Context (including its Free/Busy maps and Jobs slice) is pooled by the
+// simulator and rewritten every round: it is only valid for the duration of
+// the Schedule call. Schedulers that need round-over-round state must copy
+// what they keep.
 type Context struct {
 	Now  time.Time
 	Jobs []*PendingJob
@@ -283,6 +288,13 @@ type Sim struct {
 	pending []*PendingJob
 	res     *Result
 	sorted  bool
+	// Per-round scratch, reused across Steps (a Sim is single-owner by
+	// contract): the scheduler context with its free/busy maps, and apply's
+	// pending-by-id / decided sets. The maps handed to the Scheduler are only
+	// valid for the duration of the Schedule call.
+	ctx     Context
+	byID    map[int]*PendingJob
+	decided map[int]bool
 }
 
 // NewSim validates and defaults cfg and returns an empty incremental
@@ -296,10 +308,25 @@ func NewSim(cfg Config, sched Scheduler) (*Sim, error) {
 	for _, r := range cfg.Env.Regions {
 		states[r.ID] = newRegionState(r.Servers)
 	}
-	return &Sim{
+	s := &Sim{
 		cfg: cfg, sched: sched, states: states,
-		res: &Result{Scheduler: sched.Name(), Tolerance: cfg.Tolerance},
-	}, nil
+		res:     &Result{Scheduler: sched.Name(), Tolerance: cfg.Tolerance},
+		byID:    make(map[int]*PendingJob),
+		decided: make(map[int]bool),
+	}
+	s.ctx = Context{
+		Free: make(map[region.ID]int, len(states)),
+		Busy: make(map[region.ID]int, len(states)),
+		Env:  cfg.Env, Net: cfg.Net, FP: cfg.FP, Tolerance: cfg.Tolerance,
+		FreeAt: func(id region.ID, start time.Time, exec time.Duration) int {
+			rs, ok := s.states[id]
+			if !ok {
+				return 0
+			}
+			return rs.freeCount(start)
+		},
+	}
+	return s, nil
 }
 
 // Submit queues a job for placement; at is the controller-side arrival
@@ -329,24 +356,18 @@ func (s *Sim) Step(now time.Time) ([]JobOutcome, error) {
 	if len(s.pending) == 0 {
 		return nil, nil
 	}
-	free := make(map[region.ID]int, len(s.states))
-	busy := make(map[region.ID]int, len(s.states))
+	// The pooled context (maps included) is reused every round; schedulers
+	// must not retain it past the Schedule call.
+	ctx := &s.ctx
+	clear(ctx.Free)
+	clear(ctx.Busy)
 	for id, rs := range s.states {
 		f := rs.freeCount(now)
-		free[id] = f
-		busy[id] = rs.servers - f
+		ctx.Free[id] = f
+		ctx.Busy[id] = rs.servers - f
 	}
-	ctx := &Context{
-		Now: now, Jobs: s.pending, Free: free, Busy: busy,
-		Env: s.cfg.Env, Net: s.cfg.Net, FP: s.cfg.FP, Tolerance: s.cfg.Tolerance,
-		FreeAt: func(id region.ID, start time.Time, exec time.Duration) int {
-			rs, ok := s.states[id]
-			if !ok {
-				return 0
-			}
-			return rs.freeCount(start)
-		},
-	}
+	ctx.Now = now
+	ctx.Jobs = s.pending
 	t0 := time.Now()
 	decisions, err := s.sched.Schedule(ctx)
 	overhead := time.Since(t0)
@@ -354,7 +375,7 @@ func (s *Sim) Step(now time.Time) ([]JobOutcome, error) {
 		return nil, fmt.Errorf("cluster: scheduler %s at %v: %w", s.sched.Name(), now, err)
 	}
 	firstOut := len(s.res.Outcomes)
-	decided, err := apply(s.cfg, s.states, now, s.pending, decisions, s.res)
+	decided, err := s.apply(now, decisions)
 	if err != nil {
 		return nil, err
 	}
@@ -433,13 +454,17 @@ func Run(cfg Config, sched Scheduler, jobs []*trace.Job) (*Result, error) {
 }
 
 // apply commits decisions: reserves capacity, computes footprints, and
-// appends outcomes. It returns the set of decided job IDs.
-func apply(cfg Config, states map[region.ID]*regionState, now time.Time, pending []*PendingJob, decisions []Decision, res *Result) (map[int]bool, error) {
-	byID := make(map[int]*PendingJob, len(pending))
+// appends outcomes. It returns the set of decided job IDs (the pooled
+// s.decided map, valid until the next Step).
+func (s *Sim) apply(now time.Time, decisions []Decision) (map[int]bool, error) {
+	cfg, states, pending, res := s.cfg, s.states, s.pending, s.res
+	clear(s.byID)
+	clear(s.decided)
+	byID := s.byID
 	for _, pj := range pending {
 		byID[pj.Job.ID] = pj
 	}
-	decided := make(map[int]bool, len(decisions))
+	decided := s.decided
 	for _, d := range decisions {
 		pj, ok := byID[d.Job.ID]
 		if !ok || decided[d.Job.ID] {

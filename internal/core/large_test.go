@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"waterwise/internal/cluster"
+	"waterwise/internal/region"
+	"waterwise/internal/trace"
+	"waterwise/internal/units"
+)
+
+// largeBatchJobs builds a 1000-job burst spread across home regions with
+// varied durations/energies, all submitted at the horizon start.
+func largeBatchJobs(env *region.Environment, n int) []*trace.Job {
+	ids := env.IDs()
+	benches := []string{"canneal", "dedup", "blackscholes", "swaptions", "netdedup"}
+	jobs := make([]*trace.Job, n)
+	for i := range jobs {
+		dur := time.Duration(5+i%37) * time.Minute
+		jobs[i] = &trace.Job{
+			ID: i, Submit: testStart, Benchmark: benches[i%len(benches)],
+			Home:     ids[i%len(ids)],
+			Duration: dur, EstDuration: dur,
+			Energy: units.KWh(0.03 + 0.002*float64(i%11)), EstEnergy: units.KWh(0.03 + 0.002*float64(i%11)),
+		}
+	}
+	return jobs
+}
+
+// largeBatchSchedule runs one 1000-job scheduling round at the given worker
+// count and returns the decisions plus the round MILP objective.
+func largeBatchSchedule(t *testing.T, workers int) ([]cluster.Decision, float64) {
+	t.Helper()
+	env := testEnv(t)
+	jobs := largeBatchJobs(env, 1000)
+	cfg := DefaultConfig()
+	cfg.MaxBatch = 1000
+	cfg.Solver.Workers = workers
+	cfg.Solver.TimeLimit = 0 // determinism needs runs-to-completion
+	cfg.Solver.MaxNodes = 200000
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free := map[region.ID]int{}
+	for _, r := range env.Regions {
+		free[r.ID] = 220 // 5 regions x 220 = enough for the whole burst
+	}
+	dec, err := s.Schedule(testCtx(t, env, jobs, 0.5, free))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, ok := s.LastRoundObjective()
+	if !ok {
+		t.Fatal("round was not decided by the optimizer")
+	}
+	if len(dec) != len(jobs) {
+		t.Fatalf("decided %d/%d jobs", len(dec), len(jobs))
+	}
+	return dec, obj
+}
+
+// TestLargeBatchSchedulerWorkersDeterminism proves the ROADMAP's "Workers > 1
+// defaults once batches grow beyond ~200 jobs" item at the scheduler level: a
+// 1000-job round decided with the auto worker default (Workers == 0 →
+// AutoWorkers) must match a serial round decision for decision.
+func TestLargeBatchSchedulerWorkersDeterminism(t *testing.T) {
+	serialDec, serialObj := largeBatchSchedule(t, 1)
+	autoDec, autoObj := largeBatchSchedule(t, 0) // 0 → AutoWorkers(1000)
+	if math.Abs(serialObj-autoObj) > 1e-9 {
+		t.Fatalf("round objective diverged: serial %.12f, auto-workers %.12f", serialObj, autoObj)
+	}
+	if len(serialDec) != len(autoDec) {
+		t.Fatalf("decision counts diverged: serial %d, auto-workers %d", len(serialDec), len(autoDec))
+	}
+	for i := range serialDec {
+		if serialDec[i].Job.ID != autoDec[i].Job.ID || serialDec[i].Region != autoDec[i].Region {
+			t.Fatalf("decision %d diverged: serial job %d -> %s, auto job %d -> %s",
+				i, serialDec[i].Job.ID, serialDec[i].Region, autoDec[i].Job.ID, autoDec[i].Region)
+		}
+	}
+}

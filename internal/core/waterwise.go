@@ -119,6 +119,16 @@ type Scheduler struct {
 	// repricing and a cold-solving controller fed identical rounds.
 	lastObj    float64
 	lastObjSet bool
+	// Per-round scratch, reused across Schedule calls (a Scheduler is
+	// single-threaded by the cluster.Scheduler contract, so pooling here is
+	// safe): candidate rows and backing array, capacity counts, urgency
+	// scores, and greedy capacity leftovers. Keeps the serving hot path off
+	// the allocator.
+	candRows [][]candidate
+	candBuf  []candidate
+	capsBuf  []int
+	urgBuf   []urgentJob
+	leftBuf  []int
 }
 
 type modelKey struct{ m, n int }
@@ -168,6 +178,10 @@ func (s *Scheduler) model(M, N int) (*roundModel, error) {
 		}
 		capRows[n] = row
 	}
+	// Compile the skeleton's sparse matrix once: every round with this batch
+	// shape — and every clone the branch-and-bound workers take — shares the
+	// same immutable CSC arrays instead of re-deriving them per solve.
+	prob.Compile()
 	rm := &roundModel{prob: prob, capRows: capRows, obj: make([]float64, M*N)}
 	s.models[key] = rm
 	return rm, nil
@@ -226,6 +240,12 @@ func (s *Scheduler) SolverStats() milp.Stats { return s.solverStats }
 // nothing).
 func (s *Scheduler) LastRoundObjective() (float64, bool) { return s.lastObj, s.lastObjSet }
 
+// urgentJob pairs a pending job with its Eq. 14 urgency score.
+type urgentJob struct {
+	pj *cluster.PendingJob
+	u  float64
+}
+
 // candidate carries the per-(job, region) scoring inputs for one round.
 type candidate struct {
 	carbon  float64 // absolute carbon estimate incl. transfer (g)
@@ -244,7 +264,10 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) ([]cluster.Decision, error) {
 		return nil, nil
 	}
 
-	caps := make([]int, len(ids))
+	if cap(s.capsBuf) < len(ids) {
+		s.capsBuf = make([]int, len(ids))
+	}
+	caps := s.capsBuf[:len(ids)]
 	totalCap := 0
 	for n, id := range ids {
 		caps[n] = ctx.Free[id]
@@ -308,11 +331,19 @@ func (s *Scheduler) Schedule(ctx *cluster.Context) ([]cluster.Decision, error) {
 // using the controller's estimates (EstDuration/EstEnergy) — never the
 // ground-truth actuals.
 func (s *Scheduler) buildCandidates(ctx *cluster.Context, ids []region.ID, jobs []*cluster.PendingJob) [][]candidate {
-	cands := make([][]candidate, len(jobs))
+	// Pooled: the row headers and the backing entry array persist across
+	// rounds; the returned slices are only valid until the next Schedule.
+	if cap(s.candRows) < len(jobs) {
+		s.candRows = make([][]candidate, len(jobs))
+	}
+	if need := len(jobs) * len(ids); cap(s.candBuf) < need {
+		s.candBuf = make([]candidate, need)
+	}
+	cands := s.candRows[:len(jobs)]
 	for m, pj := range jobs {
 		job := pj.Job
 		pkg := jobPackageMB(job)
-		row := make([]candidate, len(ids))
+		row := s.candBuf[m*len(ids) : (m+1)*len(ids)]
 		for n, id := range ids {
 			lat := ctx.Net.Latency(job.Home, id, pkg)
 			start := ctx.Now.Add(lat)
@@ -465,7 +496,14 @@ func (s *Scheduler) solve(ctx *cluster.Context, ids []region.ID, caps []int, job
 		}
 	}
 
-	sol, err := prob.Solve(s.cfg.Solver)
+	opts := s.cfg.Solver
+	if opts.Workers <= 0 {
+		// Auto worker default: serial below 200-job batches, then
+		// min(GOMAXPROCS, batch/64) — thousand-job rounds spread the
+		// branch-and-bound tree across cores without the caller opting in.
+		opts.Workers = milp.AutoWorkers(M)
+	}
+	sol, err := prob.Solve(opts)
 	if err != nil {
 		return nil, false, err
 	}
@@ -489,7 +527,11 @@ func (s *Scheduler) solve(ctx *cluster.Context, ids []region.ID, caps []int, job
 // greedyAssign is the ablation controller (and last-resort fallback): each
 // job takes its cheapest feasible region, respecting capacity counts.
 func (s *Scheduler) greedyAssign(ctx *cluster.Context, ids []region.ID, caps []int, jobs []*cluster.PendingJob, cands [][]candidate) []cluster.Decision {
-	left := append([]int(nil), caps...)
+	if cap(s.leftBuf) < len(caps) {
+		s.leftBuf = make([]int, len(caps))
+	}
+	left := s.leftBuf[:len(caps)]
+	copy(left, caps)
 	out := make([]cluster.Decision, 0, len(jobs))
 	for m, pj := range jobs {
 		best, bestCost := -1, math.Inf(1)
@@ -537,23 +579,25 @@ func (s *Scheduler) greedyAssign(ctx *cluster.Context, ids []region.ID, caps []i
 // already spent waiting. Ascending order = most urgent first.
 func (s *Scheduler) mostUrgent(ctx *cluster.Context, jobs []*cluster.PendingJob, limit int) []*cluster.PendingJob {
 	ids := ctx.Env.IDs()
-	type scored struct {
-		pj *cluster.PendingJob
-		u  float64
+	if cap(s.urgBuf) < len(jobs) {
+		s.urgBuf = make([]urgentJob, len(jobs))
 	}
-	scoredJobs := make([]scored, len(jobs))
+	scoredJobs := s.urgBuf[:len(jobs)]
 	for i, pj := range jobs {
 		job := pj.Job
 		avgLat := ctx.Net.AvgLatency(job.Home, ids, jobPackageMB(job))
 		waited := ctx.Now.Sub(pj.FirstSeen)
 		u := ctx.Tolerance*float64(job.EstDuration) - float64(avgLat) - float64(waited)
-		scoredJobs[i] = scored{pj: pj, u: u}
+		scoredJobs[i] = urgentJob{pj: pj, u: u}
 	}
 	sort.SliceStable(scoredJobs, func(i, j int) bool { return scoredJobs[i].u < scoredJobs[j].u })
 	out := make([]*cluster.PendingJob, 0, limit)
 	for i := 0; i < limit && i < len(scoredJobs); i++ {
 		out = append(out, scoredJobs[i].pj)
 	}
+	// Drop the pooled buffer's job pointers: a long-running server must not
+	// pin a past burst's jobs via scratch sized to the largest round seen.
+	clear(scoredJobs)
 	return out
 }
 

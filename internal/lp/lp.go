@@ -1,6 +1,7 @@
-// Package lp implements a dense bounded-variable simplex solver for linear
-// programs. It is the foundation that internal/milp builds branch-and-bound
-// on, replacing the PuLP/GLPK stack used by the WaterWise paper.
+// Package lp implements a sparse revised bounded-variable simplex solver for
+// linear programs. It is the foundation that internal/milp builds
+// branch-and-bound on, replacing the PuLP/GLPK stack used by the WaterWise
+// paper.
 //
 // The solver handles:
 //
@@ -15,11 +16,17 @@
 //     re-optimizes with the dual simplex in a handful of pivots instead of
 //     re-solving from scratch.
 //
-// It uses Dantzig pricing with an automatic switch to Bland's rule when an
-// iteration budget suggests cycling, which guarantees termination. The
-// previous generation of this package — a two-phase tableau simplex that
-// materializes every upper bound as an explicit row — is retained in
-// reference.go as SolveReference, the oracle for differential tests.
+// The engine (simplex.go) stores the constraint matrix in compressed sparse
+// column form, keeps the basis as a sparse LU factorization (lu.go) extended
+// by product-form eta updates with periodic refactorization, and computes
+// pivot columns and reduced costs by FTRAN/BTRAN solves — so the cost of a
+// pivot tracks the matrix's nonzero count rather than m·n. Pricing is
+// Dantzig scores over a rotating partial-pricing window, with an automatic
+// switch to Bland's rule when an iteration budget suggests cycling, which
+// guarantees termination. The first generation of this package — a two-phase
+// dense tableau simplex that materializes every upper bound as an explicit
+// row — is retained in reference.go as SolveReference, the oracle for
+// differential tests.
 package lp
 
 import (
@@ -114,6 +121,11 @@ type Problem struct {
 	rows   []Constraint
 	maxIt  int
 	epsTol float64
+	// cscCache is the constraint matrix in compressed sparse column form,
+	// built lazily on the first solve and shared by clones, warm-start bases,
+	// and branch-and-bound workers (it depends only on the constraint
+	// structure, which AddConstraint alone mutates).
+	cscCache *csc
 }
 
 // New returns a Problem with nvars decision variables, all with default
@@ -205,8 +217,24 @@ func (p *Problem) AddConstraint(terms []Term, op Op, rhs float64) (int, error) {
 	cp := make([]Term, len(terms))
 	copy(cp, terms)
 	p.rows = append(p.rows, Constraint{Terms: cp, Op: op, RHS: rhs})
+	p.cscCache = nil // constraint structure changed
 	return len(p.rows) - 1, nil
 }
+
+// structCSC returns the cached CSC form of the constraint matrix, building it
+// on first use.
+func (p *Problem) structCSC() *csc {
+	if p.cscCache == nil {
+		p.cscCache = buildCSC(p.nvars, p.rows)
+	}
+	return p.cscCache
+}
+
+// Compile eagerly builds the problem's compressed sparse column matrix (it is
+// otherwise built lazily on the first solve). The scheduler's round-model
+// cache calls this once per batch shape so every round — and every clone the
+// branch-and-bound workers take — reuses the same immutable CSC arrays.
+func (p *Problem) Compile() { p.structCSC() }
 
 // SetRHS changes the right-hand side of constraint i in place. Round-to-round
 // model reuse (the WaterWise scheduler's capacity rows) updates RHS values
@@ -231,6 +259,9 @@ func (p *Problem) Clone() *Problem {
 		rows:   make([]Constraint, len(p.rows)),
 		maxIt:  p.maxIt,
 		epsTol: p.epsTol,
+		// The CSC cache is immutable once built; clones share it until either
+		// side changes the constraint structure (which resets its own cache).
+		cscCache: p.cscCache,
 	}
 	// Constraint term slices are never mutated after AddConstraint, so the
 	// rows may share term backing arrays safely.
@@ -255,11 +286,14 @@ type Solution struct {
 	WarmStarted bool
 }
 
-// Basis is a reusable snapshot of solver state: the final simplex tableau,
-// basis, column statuses, and reduced costs of a solved Problem. After the
-// problem's variable bounds change (the only mutation branch-and-bound
-// performs), SolveWarm restores optimality with a short dual-simplex run
-// instead of a from-scratch solve.
+// Basis is a reusable snapshot of solver state: the basis headers (basic
+// column per position, column statuses, bounds, costs, and original RHS) of a
+// solved Problem. Reviving one refactorizes the basis matrix from those
+// headers and re-solves the basic values — there is no tableau snapshot to
+// replay, so a Basis is O(m + n) to clone. After the problem's variable
+// bounds change (the only mutation branch-and-bound performs), SolveWarm
+// restores optimality with a short dual-simplex run instead of a
+// from-scratch solve.
 //
 // A Basis is only meaningful for a Problem with the same constraints and
 // objective as the one that produced it; SolveWarm detects objective drift
@@ -309,16 +343,18 @@ func (p *Problem) SolveWarm(b *Basis) (*Solution, error) {
 // basis whose objective coefficients or constraint right-hand sides have
 // changed since it was stored. Where SolveWarm treats any objective/RHS drift
 // as grounds for a cold solve, SolveReprice re-prices the stored engine in
-// place: the transformed RHS (B⁻¹b) absorbs each row's RHS delta through the
-// row's slack column, the new objective is installed (z = c − c_B·B⁻¹A
-// recomputed), and — provided the revived vertex is still primal feasible —
-// the primal simplex walks it to the new optimum. This is the cross-round
-// warm start of the scheduler's reused round model: between rounds the model
-// keeps its shape but every cost, capacity RHS, and pair-forbidding bound
-// changes. Shape changes, EQ-row RHS changes, nonbasic columns stranded at
-// infinite bounds, and revived vertices knocked primal-infeasible by the new
-// bounds/RHS all fall back to a cold solve (reusing the basis's
-// allocations), so answers never depend on the warm path.
+// place: the basis matrix is refactorized from the stored headers, the basic
+// values are re-solved against the new RHS and bounds (x_B = B⁻¹(b − N·x_N),
+// one FTRAN — EQ-row RHS changes revive like any other, which the old dense
+// tableau could not do), the new objective is installed, and — provided the
+// revived vertex is still primal feasible — the primal simplex walks it to
+// the new optimum. This is the cross-round warm start of the scheduler's
+// reused round model: between rounds the model keeps its shape but every
+// cost, capacity RHS, and pair-forbidding bound changes. Shape changes,
+// nonbasic columns stranded at infinite bounds, singular stored bases, and
+// revived vertices knocked primal-infeasible by the new bounds/RHS all fall
+// back to a cold solve (reusing the basis's allocations), so answers never
+// depend on the warm path.
 func (p *Problem) SolveReprice(b *Basis) (*Solution, error) {
 	return p.solveReusing(b, func(s *simplex) (Status, bool) {
 		if !s.repriceBase(p) {

@@ -1,0 +1,271 @@
+package lp
+
+// luFactor is a sparse LU factorization of the simplex basis matrix B with
+// partial pivoting: P·B = L·U, where P is a row permutation (prow/pinv), L is
+// unit lower triangular, and U is upper triangular. Both factors are stored
+// column-major in pivot coordinates; U's diagonal is kept separately as its
+// reciprocal. The factorization is built column by column in the
+// Gilbert–Peierls style: each basis column is scattered into a dense
+// accumulator, eliminated against the already-built L columns in ascending
+// pivot order (a small binary heap orders the updates, so work tracks the
+// column's nonzeros plus fill rather than m), and the pivot is chosen as the
+// largest-magnitude candidate among not-yet-pivoted rows.
+//
+// For the WaterWise round matrices — assignment rows plus capacity rows, a
+// network structure whose bases are triangularizable — the factorization
+// produces (near-)zero fill, so FTRAN/BTRAN solves cost O(nnz(B)) and a
+// refactorization costs little more than reading the basis columns once.
+type luFactor struct {
+	m        int
+	lColPtr  []int32
+	lRow     []int32
+	lVal     []float64
+	uColPtr  []int32
+	uRow     []int32
+	uVal     []float64
+	uDiagInv []float64
+	prow     []int32 // pivot position -> original row
+	pinv     []int32 // original row -> pivot position
+	ok       bool
+
+	// factorization scratch
+	work   []float64 // dense accumulator, original-row indexed
+	inCol  []bool    // original-row membership of the current column
+	nzRows []int32
+	heap   []int32
+}
+
+// luPivotTol is the absolute magnitude below which a pivot candidate is
+// considered numerically zero (the basis is then reported singular).
+const luPivotTol = 1e-10
+
+func (f *luFactor) init(m int) {
+	f.m = m
+	f.ok = false
+	if cap(f.prow) < m || cap(f.lColPtr) < m+1 {
+		f.prow = make([]int32, m)
+		f.pinv = make([]int32, m)
+		f.uDiagInv = make([]float64, m)
+		f.work = make([]float64, m)
+		f.inCol = make([]bool, m)
+		f.nzRows = make([]int32, 0, m)
+		f.heap = make([]int32, 0, m)
+		f.lColPtr = make([]int32, m+1)
+		f.uColPtr = make([]int32, m+1)
+	}
+	f.prow = f.prow[:m]
+	f.pinv = f.pinv[:m]
+	f.uDiagInv = f.uDiagInv[:m]
+	f.work = f.work[:m]
+	f.inCol = f.inCol[:m]
+	f.lColPtr = f.lColPtr[:m+1]
+	f.uColPtr = f.uColPtr[:m+1]
+	for i := range f.pinv {
+		f.pinv[i] = -1
+	}
+	f.lRow = f.lRow[:0]
+	f.lVal = f.lVal[:0]
+	f.uRow = f.uRow[:0]
+	f.uVal = f.uVal[:0]
+	f.lColPtr[0] = 0
+	f.uColPtr[0] = 0
+}
+
+func heapPushI32(h []int32, v int32) []int32 {
+	h = append(h, v)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+	return h
+}
+
+func heapPopI32(h []int32) (int32, []int32) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h[l] < h[small] {
+			small = l
+		}
+		if r < n && h[r] < h[small] {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	return top, h
+}
+
+// factorize builds the factorization of the m x m basis whose pos-th column
+// is produced by col(pos, emit); emit may be called in any order but must not
+// repeat a row within one column. Returns false when the basis is
+// (numerically) singular, leaving the factor unusable (ok == false).
+func (f *luFactor) factorize(m int, col func(pos int, emit func(row int32, v float64))) bool {
+	f.init(m)
+	nz := f.nzRows[:0]
+	h := f.heap[:0]
+	// One emit closure for the whole factorization (it would otherwise
+	// allocate once per basis column).
+	emit := func(r int32, v float64) {
+		f.inCol[r] = true
+		f.work[r] = v
+		nz = append(nz, r)
+		if p := f.pinv[r]; p >= 0 {
+			h = heapPushI32(h, p)
+		}
+	}
+	for k := 0; k < m; k++ {
+		nz = nz[:0]
+		h = h[:0]
+		col(k, emit)
+		// Eliminate against finished columns in ascending pivot order. Fill
+		// rows discovered along the way join the heap (their pivot positions
+		// are always beyond the one being processed).
+		for len(h) > 0 {
+			var pos int32
+			pos, h = heapPopI32(h)
+			pr := f.prow[pos]
+			x := f.work[pr]
+			if x == 0 {
+				continue
+			}
+			f.uRow = append(f.uRow, pos)
+			f.uVal = append(f.uVal, x)
+			for t := f.lColPtr[pos]; t < f.lColPtr[pos+1]; t++ {
+				r := f.lRow[t]
+				if !f.inCol[r] {
+					f.inCol[r] = true
+					f.work[r] = 0
+					nz = append(nz, r)
+					if p := f.pinv[r]; p >= 0 {
+						h = heapPushI32(h, p)
+					}
+				}
+				f.work[r] -= f.lVal[t] * x
+			}
+		}
+		// Partial pivoting among not-yet-pivoted rows.
+		best := int32(-1)
+		bestAbs := 0.0
+		for _, r := range nz {
+			if f.pinv[r] >= 0 {
+				continue
+			}
+			a := f.work[r]
+			if a < 0 {
+				a = -a
+			}
+			if a > bestAbs {
+				bestAbs = a
+				best = r
+			}
+		}
+		if best < 0 || bestAbs < luPivotTol {
+			for _, r := range nz {
+				f.inCol[r] = false
+				f.work[r] = 0
+			}
+			f.nzRows, f.heap = nz[:0], h[:0]
+			return false
+		}
+		piv := f.work[best]
+		f.prow[k] = best
+		f.pinv[best] = int32(k)
+		f.uDiagInv[k] = 1 / piv
+		f.uColPtr[k+1] = int32(len(f.uRow))
+		for _, r := range nz {
+			if f.pinv[r] >= 0 {
+				continue
+			}
+			if v := f.work[r]; v != 0 {
+				// Stored by original row for now; renumbered below once every
+				// row has its pivot position.
+				f.lRow = append(f.lRow, r)
+				f.lVal = append(f.lVal, v/piv)
+			}
+		}
+		f.lColPtr[k+1] = int32(len(f.lRow))
+		for _, r := range nz {
+			f.inCol[r] = false
+			f.work[r] = 0
+		}
+	}
+	for i, r := range f.lRow {
+		f.lRow[i] = f.pinv[r]
+	}
+	f.nzRows, f.heap = nz[:0], h[:0]
+	f.ok = true
+	return true
+}
+
+// ftran solves B0·x = b for a dense right-hand side b (original-row indexed,
+// preserved), writing into x (pivot-position indexed).
+func (f *luFactor) ftran(b, x []float64) {
+	for k := 0; k < f.m; k++ {
+		x[k] = b[f.prow[k]]
+	}
+	f.solveLower(x)
+	f.solveUpper(x)
+}
+
+func (f *luFactor) solveLower(x []float64) {
+	for k := 0; k < f.m; k++ {
+		xk := x[k]
+		if xk == 0 {
+			continue
+		}
+		for t := f.lColPtr[k]; t < f.lColPtr[k+1]; t++ {
+			x[f.lRow[t]] -= f.lVal[t] * xk
+		}
+	}
+}
+
+func (f *luFactor) solveUpper(x []float64) {
+	for k := f.m - 1; k >= 0; k-- {
+		xk := x[k] * f.uDiagInv[k]
+		x[k] = xk
+		if xk == 0 {
+			continue
+		}
+		for t := f.uColPtr[k]; t < f.uColPtr[k+1]; t++ {
+			x[f.uRow[t]] -= f.uVal[t] * xk
+		}
+	}
+}
+
+// btran solves B0ᵀ·y = c; c is pivot-position indexed and destroyed, y is
+// original-row indexed and fully overwritten.
+func (f *luFactor) btran(c, y []float64) {
+	// Uᵀ is lower triangular: forward substitution, gathering column k of U.
+	for k := 0; k < f.m; k++ {
+		acc := c[k]
+		for t := f.uColPtr[k]; t < f.uColPtr[k+1]; t++ {
+			acc -= f.uVal[t] * c[f.uRow[t]]
+		}
+		c[k] = acc * f.uDiagInv[k]
+	}
+	// Lᵀ is upper triangular: backward substitution.
+	for k := f.m - 1; k >= 0; k-- {
+		acc := c[k]
+		for t := f.lColPtr[k]; t < f.lColPtr[k+1]; t++ {
+			acc -= f.lVal[t] * c[f.lRow[t]]
+		}
+		c[k] = acc
+	}
+	for k := 0; k < f.m; k++ {
+		y[f.prow[k]] = c[k]
+	}
+}

@@ -1,0 +1,173 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseSolve solves A·x = b by Gaussian elimination with partial pivoting —
+// the oracle for the sparse LU's triangular solves.
+func denseSolve(t *testing.T, A [][]float64, b []float64) []float64 {
+	t.Helper()
+	m := len(A)
+	aug := make([][]float64, m)
+	for i := range aug {
+		aug[i] = append(append([]float64(nil), A[i]...), b[i])
+	}
+	for k := 0; k < m; k++ {
+		p := k
+		for i := k + 1; i < m; i++ {
+			if math.Abs(aug[i][k]) > math.Abs(aug[p][k]) {
+				p = i
+			}
+		}
+		if math.Abs(aug[p][k]) < 1e-12 {
+			t.Fatal("oracle: singular matrix")
+		}
+		aug[k], aug[p] = aug[p], aug[k]
+		for i := k + 1; i < m; i++ {
+			f := aug[i][k] / aug[k][k]
+			if f == 0 {
+				continue
+			}
+			for j := k; j <= m; j++ {
+				aug[i][j] -= f * aug[k][j]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for k := m - 1; k >= 0; k-- {
+		s := aug[k][m]
+		for j := k + 1; j < m; j++ {
+			s -= aug[k][j] * x[j]
+		}
+		x[k] = s / aug[k][k]
+	}
+	return x
+}
+
+// randomSparseMatrix builds a random nonsingular m x m matrix: a strong
+// diagonal plus ~density off-diagonal entries.
+func randomSparseMatrix(r *rand.Rand, m int, density float64) [][]float64 {
+	A := make([][]float64, m)
+	for i := range A {
+		A[i] = make([]float64, m)
+		A[i][i] = 2 + r.Float64()
+		for j := 0; j < m; j++ {
+			if j != i && r.Float64() < density {
+				A[i][j] = r.Float64()*2 - 1
+			}
+		}
+	}
+	return A
+}
+
+func factorizeDense(f *luFactor, A [][]float64) bool {
+	m := len(A)
+	return f.factorize(m, func(pos int, emit func(row int32, v float64)) {
+		for i := 0; i < m; i++ {
+			if A[i][pos] != 0 {
+				emit(int32(i), A[i][pos])
+			}
+		}
+	})
+}
+
+// TestLUFtranBtranVsDenseSolve factorizes random sparse matrices and
+// cross-checks FTRAN (B·x = b) and BTRAN (Bᵀ·y = c) against a dense Gaussian
+// elimination oracle.
+func TestLUFtranBtranVsDenseSolve(t *testing.T) {
+	r := rand.New(rand.NewSource(20260728))
+	var f luFactor
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + r.Intn(30)
+		A := randomSparseMatrix(r, m, 0.15)
+		if !factorizeDense(&f, A) {
+			t.Fatalf("trial %d: factorize reported singular for a diagonally dominant matrix", trial)
+		}
+		b := make([]float64, m)
+		c := make([]float64, m)
+		for i := range b {
+			b[i] = r.Float64()*4 - 2
+			c[i] = r.Float64()*4 - 2
+		}
+		x := make([]float64, m)
+		f.ftran(b, x)
+		want := denseSolve(t, A, b)
+		for k := range x {
+			if math.Abs(x[k]-want[k]) > 1e-8 {
+				t.Fatalf("trial %d: ftran x[%d] = %.12f, oracle %.12f", trial, k, x[k], want[k])
+			}
+		}
+		// BTRAN: y solves Bᵀy = c, i.e. column j of B dotted with y gives c_j.
+		y := make([]float64, m)
+		cc := append([]float64(nil), c...)
+		f.btran(cc, y)
+		for j := 0; j < m; j++ {
+			dot := 0.0
+			for i := 0; i < m; i++ {
+				dot += A[i][j] * y[i]
+			}
+			if math.Abs(dot-c[j]) > 1e-8 {
+				t.Fatalf("trial %d: btran col %d: a_jᵀy = %.12f, want %.12f", trial, j, dot, c[j])
+			}
+		}
+	}
+}
+
+// TestLUSingularDetection: a repeated column must be reported singular, not
+// silently mis-factorized.
+func TestLUSingularDetection(t *testing.T) {
+	A := [][]float64{
+		{1, 2, 1},
+		{3, 1, 3},
+		{0, 1, 0},
+	}
+	var f luFactor
+	if factorizeDense(&f, A) {
+		t.Fatal("rank-deficient matrix factorized as nonsingular")
+	}
+	if f.ok {
+		t.Fatal("failed factorization left ok == true")
+	}
+}
+
+// TestLUAssignmentBasisNoFill factorizes a transportation-style basis (the
+// WaterWise round structure: assignment rows + capacity rows) and checks the
+// factors stay (near) fill-free — the property the revised engine's per-pivot
+// cost model relies on.
+func TestLUAssignmentBasisNoFill(t *testing.T) {
+	// Basis of a 6-job x 3-region round: per job one assignment column
+	// (rows: job row + capacity row), plus 3 capacity slack singletons.
+	const M, N = 6, 3
+	m := M + N
+	A := make([][]float64, m)
+	for i := range A {
+		A[i] = make([]float64, m)
+	}
+	r := rand.New(rand.NewSource(5))
+	for j := 0; j < M; j++ { // assignment columns
+		A[j][j] = 1
+		A[M+r.Intn(N)][j] = 1
+	}
+	for k := 0; k < N; k++ { // capacity slacks
+		A[M+k][M+k] = 1
+	}
+	var f luFactor
+	if !factorizeDense(&f, A) {
+		t.Fatal("round basis reported singular")
+	}
+	nnzIn := 0
+	for i := range A {
+		for j := range A[i] {
+			if A[i][j] != 0 {
+				nnzIn++
+			}
+		}
+	}
+	nnzOut := len(f.lVal) + len(f.uVal) + m // + unit/diagonal entries
+	if nnzOut > nnzIn {
+		t.Errorf("factorization filled in: %d input nonzeros -> %d factor entries", nnzIn, nnzOut)
+	}
+}

@@ -1,0 +1,128 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// buildRoundLP builds the LP relaxation of an MxN scheduling round: M
+// assignment EQ rows, N capacity LE rows, box bounds via the implied-binary
+// convention (no explicit [0,1] rows).
+func buildRoundLP(tb testing.TB, M, N int) (*Problem, []int) {
+	tb.Helper()
+	p := New(M * N)
+	terms := make([]Term, 0, M)
+	for m := 0; m < M; m++ {
+		terms = terms[:0]
+		for n := 0; n < N; n++ {
+			terms = append(terms, Term{Var: m*N + n, Coef: 1})
+		}
+		if _, err := p.AddConstraint(terms, EQ, 1); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	capRows := make([]int, N)
+	for n := 0; n < N; n++ {
+		terms = terms[:0]
+		for m := 0; m < M; m++ {
+			terms = append(terms, Term{Var: m*N + n, Coef: 1})
+		}
+		row, err := p.AddConstraint(terms, LE, math.Ceil(1.2*float64(M)/float64(N)))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		capRows[n] = row
+	}
+	return p, capRows
+}
+
+// mutateRoundLP rewrites the round LP the way the scheduler's cached model is
+// rewritten each round: objective drift and forbidden-pair churn.
+func mutateRoundLP(tb testing.TB, p *Problem, r *rand.Rand, obj []float64, M, N int) {
+	tb.Helper()
+	for v := range obj {
+		obj[v] += (r.Float64() - 0.5) * 0.05
+		if obj[v] < 0 {
+			obj[v] = 0
+		}
+	}
+	if err := p.SetObjective(obj, Minimize); err != nil {
+		tb.Fatal(err)
+	}
+	for m := 0; m < M; m++ {
+		open := 0
+		for n := 0; n < N; n++ {
+			v := m*N + n
+			lo, hi := 0.0, math.Inf(1)
+			if r.Intn(50) == 0 {
+				hi = 0
+			} else {
+				open++
+			}
+			if err := p.SetBounds(v, lo, hi); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		if open == 0 {
+			if err := p.SetBounds(m*N+r.Intn(N), 0, math.Inf(1)); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSimplexAssignment1000x10 measures one cold simplex solve of the
+// thousand-job round LP per iteration. The Basis carries no reusable state
+// between iterations (the objective changes every round), only reusable
+// allocations — exactly the scheduler's cold-round path.
+func BenchmarkSimplexAssignment1000x10(b *testing.B) {
+	const M, N = 1000, 10
+	p, _ := buildRoundLP(b, M, N)
+	r := rand.New(rand.NewSource(1))
+	obj := make([]float64, M*N)
+	for v := range obj {
+		obj[v] = 0.2 + r.Float64()
+	}
+	basis := NewBasis()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mutateRoundLP(b, p, r, obj, M, N)
+		b.StartTimer()
+		sol, err := p.SolveWarm(basis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}
+
+// BenchmarkRepriceAssignment1000x10 measures the cross-round warm start at
+// thousand-job scale: each iteration re-prices the previous round's basis for
+// the mutated objective/bounds instead of solving cold.
+func BenchmarkRepriceAssignment1000x10(b *testing.B) {
+	const M, N = 1000, 10
+	p, _ := buildRoundLP(b, M, N)
+	r := rand.New(rand.NewSource(1))
+	obj := make([]float64, M*N)
+	for v := range obj {
+		obj[v] = 0.2 + r.Float64()
+	}
+	basis := NewBasis()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		mutateRoundLP(b, p, r, obj, M, N)
+		b.StartTimer()
+		sol, err := p.SolveReprice(basis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != Optimal {
+			b.Fatalf("status %v", sol.Status)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomSparseLP builds a random LP at the sparse revised engine's home turf:
+// wider and sparser than randomLP (differential_test.go), with each row
+// touching only a few variables — the shape where a dense tableau and a
+// revised factorization can disagree only through bugs.
+func randomSparseLP(r *rand.Rand) *Problem {
+	n := 12 + r.Intn(30)    // 12..41 vars
+	mRows := 6 + r.Intn(20) // 6..25 rows
+	p := New(n)
+	c := make([]float64, n)
+	for j := range c {
+		c[j] = math.Round((r.Float64()*4-2)*8) / 8
+	}
+	sense := Minimize
+	if r.Intn(2) == 1 {
+		sense = Maximize
+	}
+	p.SetObjective(c, sense)
+	// Anchor point: RHS values are placed relative to each row's value at x0,
+	// so the instance is feasible by construction (bound tightening in the
+	// warm-chain test can still make it infeasible later — that path is
+	// compared against a cold solve too).
+	x0 := make([]float64, n)
+	for j := 0; j < n; j++ {
+		lo := 0.0
+		if r.Intn(4) == 0 {
+			lo = math.Round(r.Float64()*8) / 4
+		}
+		hi := math.Inf(1)
+		if r.Intn(4) != 0 {
+			hi = lo + 1 + math.Round(r.Float64()*12)/4
+		}
+		if err := p.SetBounds(j, lo, hi); err != nil {
+			panic(err)
+		}
+		span := 4.0
+		if !math.IsInf(hi, 1) {
+			span = hi - lo
+		}
+		x0[j] = lo + math.Round(r.Float64()*span*4)/4
+	}
+	for i := 0; i < mRows; i++ {
+		nTerms := 2 + r.Intn(4) // 2..5 nonzeros per row
+		var terms []Term
+		seen := map[int]bool{}
+		at := 0.0
+		for len(terms) < nTerms {
+			j := r.Intn(n)
+			if seen[j] {
+				continue
+			}
+			seen[j] = true
+			coef := math.Round((r.Float64()*4-2)*4) / 4
+			if coef == 0 {
+				coef = 1
+			}
+			terms = append(terms, Term{j, coef})
+			at += coef * x0[j]
+		}
+		var op Op
+		rhs := at
+		switch r.Intn(4) {
+		case 0:
+			op = EQ
+		case 1:
+			op = GE
+			rhs = at - math.Round(r.Float64()*8)/4
+		default:
+			op = LE
+			rhs = at + math.Round(r.Float64()*8)/4
+		}
+		p.AddConstraint(terms, op, rhs)
+	}
+	return p
+}
+
+// TestSparseDifferentialVsReference cross-checks the revised engine against
+// the retained dense two-phase reference on 200 random sparse LPs: statuses
+// agree, objectives match to 1e-6, and the revised solution is feasible.
+func TestSparseDifferentialVsReference(t *testing.T) {
+	r := rand.New(rand.NewSource(20260729))
+	for k := 0; k < 200; k++ {
+		p := randomSparseLP(r)
+		got, err := p.Solve()
+		if err != nil {
+			t.Fatalf("case %d: Solve: %v", k, err)
+		}
+		want, err := SolveReference(p)
+		if err != nil {
+			t.Fatalf("case %d: SolveReference: %v", k, err)
+		}
+		if got.Status == IterLimit || want.Status == IterLimit {
+			t.Errorf("case %d: iteration limit (new=%v ref=%v)", k, got.Status, want.Status)
+			continue
+		}
+		if got.Status != want.Status {
+			t.Errorf("case %d: status %v, reference %v", k, got.Status, want.Status)
+			continue
+		}
+		if got.Status != Optimal {
+			continue
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Errorf("case %d: objective %.9f, reference %.9f", k, got.Objective, want.Objective)
+		}
+		checkFeasible(t, p, got.X, fmt.Sprintf("case %d (revised)", k))
+	}
+}
+
+// TestAssignmentRoundVsReference cross-checks the engine on assignment-shaped
+// scheduling rounds — EQ assignment rows, LE capacity rows, forbidden pairs —
+// the production matrix of the WaterWise controller.
+func TestAssignmentRoundVsReference(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const M, N = 30, 5
+	for round := 0; round < 25; round++ {
+		p, _ := buildRoundLP(t, M, N)
+		obj := make([]float64, M*N)
+		for v := range obj {
+			obj[v] = 0.2 + r.Float64()
+		}
+		mutateRoundLP(t, p, r, obj, M, N)
+		got, err := p.Solve()
+		if err != nil {
+			t.Fatalf("round %d: Solve: %v", round, err)
+		}
+		want, err := SolveReference(p)
+		if err != nil {
+			t.Fatalf("round %d: SolveReference: %v", round, err)
+		}
+		if got.Status != want.Status {
+			t.Fatalf("round %d: status %v, reference %v", round, got.Status, want.Status)
+		}
+		if got.Status != Optimal {
+			continue
+		}
+		if math.Abs(got.Objective-want.Objective) > 1e-6 {
+			t.Errorf("round %d: objective %.9f, reference %.9f", round, got.Objective, want.Objective)
+		}
+		checkFeasible(t, p, got.X, fmt.Sprintf("round %d", round))
+		// The assignment polytope is integral: the vertex the simplex lands
+		// on must be 0/1.
+		for v, x := range got.X {
+			if math.Abs(x) > 1e-7 && math.Abs(x-1) > 1e-7 {
+				t.Errorf("round %d: x[%d] = %g, not integral", round, v, x)
+			}
+		}
+	}
+}
+
+// TestSparseWarmChainsFewerIters replays bound-tightening chains (the
+// branch-and-bound mutation) through SolveWarm and checks, beyond the
+// objective equality the differential suite already enforces, that the warm
+// path spends fewer total simplex iterations than cold re-solves of the same
+// chain — the point of reviving a basis.
+func TestSparseWarmChainsFewerIters(t *testing.T) {
+	r := rand.New(rand.NewSource(404))
+	warmIters, coldIters, warmed := 0, 0, 0
+	for chain := 0; chain < 60; chain++ {
+		p := randomSparseLP(r)
+		basis := NewBasis()
+		sol, err := p.SolveWarm(basis)
+		if err != nil {
+			t.Fatalf("chain %d: %v", chain, err)
+		}
+		for step := 0; sol.Status == Optimal && step < 6; step++ {
+			v := r.Intn(p.NumVars())
+			lo, hi := p.Bounds(v)
+			x := sol.X[v]
+			if r.Intn(2) == 0 {
+				hi = math.Floor(x)
+			} else {
+				lo = math.Floor(x) + 1
+			}
+			if lo > hi {
+				break
+			}
+			p.SetBounds(v, lo, hi)
+			sol, err = p.SolveWarm(basis)
+			if err != nil {
+				t.Fatalf("chain %d step %d: warm: %v", chain, step, err)
+			}
+			cold, err := p.Clone().Solve()
+			if err != nil {
+				t.Fatalf("chain %d step %d: cold: %v", chain, step, err)
+			}
+			if sol.Status != cold.Status {
+				t.Errorf("chain %d step %d: warm status %v, cold %v", chain, step, sol.Status, cold.Status)
+				break
+			}
+			if sol.Status == Optimal && math.Abs(sol.Objective-cold.Objective) > 1e-6 {
+				t.Errorf("chain %d step %d: warm obj %.9f, cold %.9f", chain, step, sol.Objective, cold.Objective)
+			}
+			if sol.WarmStarted {
+				warmed++
+				warmIters += sol.Iters
+				coldIters += cold.Iters
+			}
+		}
+	}
+	if warmed == 0 {
+		t.Fatal("no chain step was warm started")
+	}
+	if warmIters >= coldIters {
+		t.Errorf("warm-started steps spent %d iterations, cold re-solves %d — the revived basis saved nothing", warmIters, coldIters)
+	}
+	t.Logf("warm steps %d: %d warm iters vs %d cold iters", warmed, warmIters, coldIters)
+}
+
+// TestWarmRepeatAfterInfeasible: a warm solve that ends Infeasible leaves its
+// primal-infeasible end state in the Basis; re-solving the identical problem
+// must report Infeasible again, not revive that state verbatim as Optimal.
+func TestWarmRepeatAfterInfeasible(t *testing.T) {
+	p := New(1)
+	if err := p.SetObjective([]float64{1}, Minimize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddConstraint([]Term{{0, 1}}, GE, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetBounds(0, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBasis()
+	first, err := p.SolveWarm(b)
+	if err != nil || first.Status != Optimal || math.Abs(first.Objective-5) > 1e-9 {
+		t.Fatalf("first solve: %v obj %g err %v", first.Status, first.Objective, err)
+	}
+	if err := p.SetBounds(0, 0, 2); err != nil {
+		t.Fatal(err)
+	}
+	for rep := 0; rep < 3; rep++ {
+		sol, err := p.SolveWarm(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Infeasible {
+			t.Fatalf("repeat %d: status %v, want infeasible", rep, sol.Status)
+		}
+	}
+}
+
+// TestRepriceEQRowRHSChange: the revised reprice path revives through EQ-row
+// RHS changes (re-solving B⁻¹b directly), which the dense tableau could not.
+func TestRepriceEQRowRHSChange(t *testing.T) {
+	p := New(2)
+	if err := p.SetObjective([]float64{1, 2}, Minimize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.AddConstraint([]Term{{0, 1}}, LE, 3); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBasis()
+	first, err := p.SolveReprice(b)
+	if err != nil || first.Status != Optimal {
+		t.Fatalf("first solve: %v %v", first.Status, err)
+	}
+	// x = (3, 1), objective 5. Move the EQ RHS: x = (3, 3), objective 9.
+	if err := p.SetRHS(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	second, err := p.SolveReprice(b)
+	if err != nil || second.Status != Optimal {
+		t.Fatalf("second solve: %v %v", second.Status, err)
+	}
+	if !second.WarmStarted {
+		t.Error("EQ-row RHS change was not served by the repricing warm start")
+	}
+	if math.Abs(second.Objective-9) > 1e-9 {
+		t.Errorf("objective after EQ RHS change = %g, want 9", second.Objective)
+	}
+	checkFeasible(t, p, second.X, "eq-rhs reprice")
+}

@@ -33,6 +33,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -84,8 +85,10 @@ type Options struct {
 	// IntTol is the integrality tolerance; 0 means the default 1e-6.
 	IntTol float64
 	// Workers sets the node-exploration worker count; 0 or 1 runs the
-	// search serially. A search that runs to completion (no node, gap, or
-	// time limit) returns the same objective at any worker count.
+	// search serially (the scheduler resolves 0 to AutoWorkers(batch)
+	// before solving, so large rounds parallelize by default). A search
+	// that runs to completion (no node, gap, or time limit) returns the
+	// same objective at any worker count.
 	Workers int
 	// DisableWarmStart solves every node relaxation from scratch instead
 	// of warm starting from the parent basis (ablation/debugging).
@@ -102,6 +105,32 @@ type Options struct {
 	// Seed makes tie-breaking in the diving heuristic deterministic; the
 	// final objective of a completed search does not depend on it.
 	Seed int64
+}
+
+// autoWorkersBatch is the batch size from which AutoWorkers starts handing
+// out more than one worker; below it the per-node LPs are too cheap for the
+// pool's coordination to pay off.
+const autoWorkersBatch = 200
+
+// AutoWorkers picks a node-exploration worker count for a scheduling round of
+// the given batch size (jobs in the round MILP): 1 below 200 jobs, then
+// min(GOMAXPROCS, batch/64). The scheduler wires this in when the caller left
+// SchedulerConfig.SolverWorkers unset, so thousand-job batches spread across
+// cores by default while small rounds stay serial. A completed search returns
+// the same objective at any worker count, so the default never changes
+// answers.
+func AutoWorkers(batch int) int {
+	if batch < autoWorkersBatch {
+		return 1
+	}
+	w := batch / 64
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 func (o Options) withDefaults() Options {
@@ -261,6 +290,12 @@ func (p *Problem) SetInteger(i int) error {
 func (p *Problem) AddConstraint(terms []lp.Term, op lp.Op, rhs float64) (int, error) {
 	return p.base.AddConstraint(terms, op, rhs)
 }
+
+// Compile eagerly builds the relaxation's compressed sparse column matrix
+// (otherwise built lazily on the first solve). The scheduler's round-model
+// cache calls this once per batch shape; the immutable CSC arrays are then
+// shared by every round, warm-start basis, and branch-and-bound worker.
+func (p *Problem) Compile() { p.base.Compile() }
 
 // SetRHS changes the right-hand side of constraint i (round-to-round
 // capacity updates in the scheduler's reused model).

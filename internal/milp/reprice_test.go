@@ -11,7 +11,7 @@ import (
 // buildRoundModel constructs the scheduler's round-model shape: M*N implied
 // binaries, M assignment EQ rows, N capacity LE rows. Returns the problem and
 // the capacity row indices.
-func buildRoundModel(t *testing.T, M, N int) (*Problem, []int) {
+func buildRoundModel(t testing.TB, M, N int) (*Problem, []int) {
 	t.Helper()
 	p := New(M * N)
 	for v := 0; v < M*N; v++ {

@@ -457,16 +457,29 @@ func (s *Server) Decisions(since uint64, limit int) []Decision {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	n := len(s.decisions)
-	out := make([]Decision, 0, 64)
-	for i := 0; i < n; i++ {
-		d := s.decisions[(s.decHead+i)%n]
-		if d.Seq <= since {
-			continue
+	if n == 0 {
+		return []Decision{} // non-nil: the HTTP layer marshals it as []
+	}
+	// Ring entries are Seq-ordered from decHead, so binary search the first
+	// entry past the cursor instead of scanning the whole log — decision
+	// polling is the serving layer's read hot path, and a full ring holds
+	// DecisionLogCap entries.
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.decisions[(s.decHead+mid)%n].Seq <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
-		out = append(out, d)
-		if limit > 0 && len(out) >= limit {
-			break
-		}
+	}
+	count := n - lo
+	if limit > 0 && count > limit {
+		count = limit
+	}
+	out := make([]Decision, count)
+	for i := range out {
+		out[i] = s.decisions[(s.decHead+lo+i)%n]
 	}
 	return out
 }

@@ -226,9 +226,17 @@ type SchedulerConfig struct {
 	// CostWeight optionally adds electricity cost as an objective — the
 	// paper's §7 extension. 0 disables.
 	CostWeight float64
+	// MaxBatch caps the number of jobs put into a single scheduling-round
+	// MILP; overflow jobs wait for the next round, most urgent first
+	// (default 64). The sparse revised simplex solves thousand-job rounds
+	// well inside the round budget, so large deployments can raise this to
+	// batch whole bursts into one optimal assignment.
+	MaxBatch int
 	// SolverWorkers sets the branch-and-bound node-exploration worker
-	// count; 0 or 1 solves serially. A search run to completion returns
-	// the same objective at any worker count.
+	// count; 1 solves serially, 0 (the default) picks automatically:
+	// serial below 200-job batches, then min(GOMAXPROCS, batch/64). A
+	// search run to completion returns the same objective at any worker
+	// count.
 	SolverWorkers int
 	// SolverDisableWarmStart solves every branch-and-bound node from
 	// scratch instead of warm starting from the parent simplex basis
@@ -258,6 +266,9 @@ func NewScheduler(cfg SchedulerConfig) (Scheduler, error) {
 	}
 	if cfg.PenaltySigma != 0 {
 		c.PenaltySigma = cfg.PenaltySigma
+	}
+	if cfg.MaxBatch != 0 {
+		c.MaxBatch = cfg.MaxBatch
 	}
 	c.PerfWeight = cfg.PerfWeight
 	c.CostWeight = cfg.CostWeight

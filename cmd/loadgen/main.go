@@ -6,15 +6,24 @@
 // compresses the arrival offsets into the requested wall-clock window, and
 // POSTs jobs to /v1/jobs at their scheduled instants regardless of how the
 // service keeps up — open loop, so backpressure (429) shows up as rejected
-// jobs rather than a slowed generator. A concurrent poller tails
-// /v1/decisions and matches decisions to submissions for latency
+// jobs rather than a slowed generator. A concurrent poller per target
+// tails /v1/decisions and matches decisions to submissions for latency
 // percentiles.
+//
+// One generator can drive a whole sharded deployment: -targets names
+// several endpoints (a fleet gateway counts as one; standalone waterwised
+// -partition shards count as one each), each is asked which regions it
+// serves via /v1/status, and every job is routed to the target owning its
+// home region. Latency percentiles and throughput are merged across
+// targets in the report.
 //
 // Usage:
 //
 //	loadgen [flags]
 //
 //	-url       service base URL              (default http://127.0.0.1:8080)
+//	-targets   comma-separated base URLs; jobs route to the target
+//	           serving their home region    (default: just -url)
 //	-rate      offered arrival rate, jobs/s  (default 100)
 //	-duration  wall-clock load window        (default 10s)
 //	-trace     borg|alibaba                  (default borg)
@@ -34,10 +43,12 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"waterwise"
+	"waterwise/internal/milp"
 	"waterwise/internal/trace"
 )
 
@@ -50,54 +61,81 @@ func main() {
 
 // report is the machine-readable summary (-json).
 type report struct {
-	URL          string  `json:"url"`
-	TraceStyle   string  `json:"trace_style"`
-	NominalRate  float64 `json:"nominal_rate_jobs_per_sec"`
-	OfferedRate  float64 `json:"offered_rate_jobs_per_sec"`
-	WindowSec    float64 `json:"window_sec"`
-	Offered      int     `json:"offered"`
-	Accepted     int     `json:"accepted"`
-	Rejected     int     `json:"rejected"`
-	Errors       int     `json:"errors"`
-	Decided      int     `json:"decided"`
-	DecisionsSec float64 `json:"decisions_per_sec"`
-	RoundsSec    float64 `json:"rounds_per_sec"`
-	LatencyP50Ms float64 `json:"latency_p50_ms"`
-	LatencyP90Ms float64 `json:"latency_p90_ms"`
-	LatencyP99Ms float64 `json:"latency_p99_ms"`
-	LatencyMaxMs float64 `json:"latency_max_ms"`
-	SolverIters  int     `json:"solver_simplex_iters"`
-	SolverWarmPc float64 `json:"solver_warm_start_pct"`
+	URL          string   `json:"url"`
+	Targets      []string `json:"targets,omitempty"`
+	TraceStyle   string   `json:"trace_style"`
+	NominalRate  float64  `json:"nominal_rate_jobs_per_sec"`
+	OfferedRate  float64  `json:"offered_rate_jobs_per_sec"`
+	WindowSec    float64  `json:"window_sec"`
+	Offered      int      `json:"offered"`
+	Accepted     int      `json:"accepted"`
+	Rejected     int      `json:"rejected"`
+	Errors       int      `json:"errors"`
+	Decided      int      `json:"decided"`
+	DecisionsSec float64  `json:"decisions_per_sec"`
+	RoundsSec    float64  `json:"rounds_per_sec"`
+	LatencyP50Ms float64  `json:"latency_p50_ms"`
+	LatencyP90Ms float64  `json:"latency_p90_ms"`
+	LatencyP99Ms float64  `json:"latency_p99_ms"`
+	LatencyMaxMs float64  `json:"latency_max_ms"`
+	SolverIters  int      `json:"solver_simplex_iters"`
+	SolverWarmPc float64  `json:"solver_warm_start_pct"`
 }
 
 func run() error {
 	var (
-		baseURL  = flag.String("url", "http://127.0.0.1:8080", "service base URL")
-		rate     = flag.Float64("rate", 100, "offered arrival rate (jobs/sec)")
-		duration = flag.Duration("duration", 10*time.Second, "wall-clock load window")
-		style    = flag.String("trace", "borg", "arrival process: borg|alibaba")
-		batch    = flag.Int("batch", 64, "max jobs per POST")
-		poll     = flag.Duration("poll", 50*time.Millisecond, "decision poll interval")
-		drain    = flag.Duration("drain", 30*time.Second, "extra wait for in-flight decisions")
-		seed     = flag.Int64("seed", 7, "generator seed")
-		jsonOut  = flag.Bool("json", false, "emit a JSON report")
+		baseURL    = flag.String("url", "http://127.0.0.1:8080", "service base URL")
+		targetsCSV = flag.String("targets", "", "comma-separated service base URLs (default: -url)")
+		rate       = flag.Float64("rate", 100, "offered arrival rate (jobs/sec)")
+		duration   = flag.Duration("duration", 10*time.Second, "wall-clock load window")
+		style      = flag.String("trace", "borg", "arrival process: borg|alibaba")
+		batch      = flag.Int("batch", 64, "max jobs per POST")
+		poll       = flag.Duration("poll", 50*time.Millisecond, "decision poll interval")
+		drain      = flag.Duration("drain", 30*time.Second, "extra wait for in-flight decisions")
+		seed       = flag.Int64("seed", 7, "generator seed")
+		jsonOut    = flag.Bool("json", false, "emit a JSON report")
 	)
 	flag.Parse()
 
-	client := &http.Client{Timeout: 30 * time.Second}
-	status, err := getStatus(client, *baseURL)
-	if err != nil {
-		return fmt.Errorf("reaching %s: %w", *baseURL, err)
+	targets := []string{*baseURL}
+	if *targetsCSV != "" {
+		targets = targets[:0]
+		for _, u := range strings.Split(*targetsCSV, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				targets = append(targets, u)
+			}
+		}
 	}
-	regions := make([]waterwise.RegionID, 0, len(status.Free))
-	for id := range status.Free {
+	if len(targets) == 0 {
+		return fmt.Errorf("no targets")
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	// Ask each target which regions it serves (a gateway reports its whole
+	// fleet; a standalone shard its partition) and route by home region —
+	// first owner wins when targets overlap.
+	owner := map[waterwise.RegionID]int{}
+	startRounds := make([]uint64, len(targets))
+	for ti, url := range targets {
+		status, err := getStatus(client, url)
+		if err != nil {
+			return fmt.Errorf("reaching %s: %w", url, err)
+		}
+		if len(status.Free) == 0 {
+			return fmt.Errorf("%s reports no regions", url)
+		}
+		for id := range status.Free {
+			if _, taken := owner[id]; !taken {
+				owner[id] = ti
+			}
+		}
+		startRounds[ti] = status.Rounds
+	}
+	regions := make([]waterwise.RegionID, 0, len(owner))
+	for id := range owner {
 		regions = append(regions, id)
 	}
 	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
-	if len(regions) == 0 {
-		return fmt.Errorf("service reports no regions")
-	}
-	startRounds := status.Rounds
 
 	// Generate arrivals over a one-hour generator window and compress the
 	// offsets into the wall window, preserving the process's burst
@@ -113,6 +151,7 @@ func run() error {
 		Seed:       *seed,
 	}
 	var jobs []*trace.Job
+	var err error
 	switch *style {
 	case "borg":
 		jobs, err = trace.GenerateBorgLike(cfg)
@@ -126,59 +165,103 @@ func run() error {
 	}
 	compress := float64(*duration) / float64(genWindow)
 
+	// Latency matching is keyed by (target, job id): standalone shards
+	// each mint ids from zero, so a bare id is ambiguous across targets.
+	type jobKey struct{ target, id int }
 	var (
-		mu       sync.Mutex
-		sentWall = map[int]time.Time{}
-		rep      = report{URL: *baseURL, TraceStyle: *style, NominalRate: *rate, Offered: len(jobs)}
-	)
-
-	// Poller: tail the decision log, matching decisions to submissions. A
-	// decision can be observed before its POST response delivers the job id,
-	// so unmatched decisions are retried on later iterations.
-	type pollResult struct {
+		mu          sync.Mutex
+		sentWall    = map[jobKey]time.Time{}
 		lats        []float64
 		lastDecided time.Time
+		rep         = report{URL: targets[0], TraceStyle: *style, NominalRate: *rate, Offered: len(jobs)}
+	)
+	if len(targets) > 1 {
+		rep.Targets = targets
 	}
-	latCh := make(chan pollResult, 1)
+
+	// Pollers, one per target: tail each decision log, matching decisions
+	// to submissions. A decision can be observed before its POST response
+	// delivers the job id, so unmatched decisions are retried on later
+	// iterations. Latencies merge into one shared sample set.
 	stopPoll := make(chan struct{})
-	go func() {
-		var res pollResult
-		var cursor uint64
-		unmatched := map[int]time.Time{}
-		for {
-			ds, next, err := getDecisions(client, *baseURL, cursor)
-			mu.Lock()
-			if err == nil {
-				cursor = next
-				for _, d := range ds {
-					unmatched[d.JobID] = d.DecidedWall
+	var pollWG sync.WaitGroup
+	for ti, url := range targets {
+		pollWG.Add(1)
+		go func(ti int, url string) {
+			defer pollWG.Done()
+			var cursor uint64
+			unmatched := map[int]time.Time{}
+			for {
+				ds, next, err := getDecisions(client, url, cursor)
+				mu.Lock()
+				if err == nil {
+					cursor = next
+					for _, d := range ds {
+						unmatched[d.JobID] = d.DecidedWall
+					}
+				}
+				for id, decided := range unmatched {
+					sw, ok := sentWall[jobKey{ti, id}]
+					if !ok {
+						continue
+					}
+					lats = append(lats, float64(decided.Sub(sw))/float64(time.Millisecond))
+					rep.Decided++
+					if decided.After(lastDecided) {
+						lastDecided = decided
+					}
+					delete(unmatched, id)
+				}
+				mu.Unlock()
+				select {
+				case <-stopPoll:
+					return
+				case <-time.After(*poll):
 				}
 			}
-			for id, decided := range unmatched {
-				sw, ok := sentWall[id]
-				if !ok {
-					continue
+		}(ti, url)
+	}
+
+	// One sender goroutine per target, fed through a buffered queue: the
+	// open-loop schedule keeps walking even when one target is slow or
+	// hung — its batches pile into its own queue (dropped as errors once
+	// full) without stalling submissions to the others.
+	sendCh := make([]chan []waterwise.JobSpec, len(targets))
+	var sendWG sync.WaitGroup
+	for ti := range targets {
+		sendCh[ti] = make(chan []waterwise.JobSpec, 1024)
+		sendWG.Add(1)
+		go func(ti int) {
+			defer sendWG.Done()
+			for specs := range sendCh[ti] {
+				sent := time.Now() // open-loop submission instant, pre-request
+				ids, code, err := postJobs(client, targets[ti], specs)
+				mu.Lock()
+				switch {
+				case err != nil:
+					rep.Errors += len(specs)
+				case code == http.StatusTooManyRequests:
+					rep.Accepted += len(ids)
+					rep.Rejected += len(specs) - len(ids)
+				case code != http.StatusAccepted:
+					rep.Accepted += len(ids)
+					rep.Errors += len(specs) - len(ids)
+				default:
+					rep.Accepted += len(ids)
 				}
-				res.lats = append(res.lats, float64(decided.Sub(sw))/float64(time.Millisecond))
-				rep.Decided++
-				if decided.After(res.lastDecided) {
-					res.lastDecided = decided
+				for _, id := range ids {
+					sentWall[jobKey{ti, id}] = sent
 				}
-				delete(unmatched, id)
+				mu.Unlock()
 			}
-			mu.Unlock()
-			select {
-			case <-stopPoll:
-				latCh <- res
-				return
-			case <-time.After(*poll):
-			}
-		}
-	}()
+		}(ti)
+	}
 
 	// Open-loop sender: walk the compressed schedule, batching jobs that
-	// are due together.
+	// are due together and routing each batch slice to the target owning
+	// its home region.
 	t0 := time.Now()
+	routed := make([][]waterwise.JobSpec, len(targets))
 	for i := 0; i < len(jobs); {
 		due := t0.Add(time.Duration(float64(jobs[i].Submit.Sub(cfg.Start)) * compress))
 		if wait := time.Until(due); wait > 0 {
@@ -197,9 +280,12 @@ func run() error {
 		if j == i {
 			j = i + 1
 		}
-		specs := make([]waterwise.JobSpec, 0, j-i)
+		for ti := range routed {
+			routed[ti] = routed[ti][:0]
+		}
 		for _, job := range jobs[i:j] {
-			specs = append(specs, waterwise.JobSpec{
+			ti := owner[job.Home] // trace regions come from the targets, so every home has an owner
+			routed[ti] = append(routed[ti], waterwise.JobSpec{
 				Benchmark: job.Benchmark, Home: job.Home,
 				DurationSec:    job.Duration.Seconds(),
 				EnergyKWh:      float64(job.Energy),
@@ -207,27 +293,28 @@ func run() error {
 				EstEnergyKWh:   float64(job.EstEnergy),
 			})
 		}
-		sent := time.Now() // open-loop submission instant, pre-request
-		ids, code, err := postJobs(client, *baseURL, specs)
-		mu.Lock()
-		switch {
-		case err != nil:
-			rep.Errors += len(specs)
-		case code == http.StatusTooManyRequests:
-			rep.Accepted += len(ids)
-			rep.Rejected += len(specs) - len(ids)
-		case code != http.StatusAccepted:
-			rep.Accepted += len(ids)
-			rep.Errors += len(specs) - len(ids)
-		default:
-			rep.Accepted += len(ids)
+		for ti := range routed {
+			if len(routed[ti]) == 0 {
+				continue
+			}
+			specs := append([]waterwise.JobSpec(nil), routed[ti]...)
+			select {
+			case sendCh[ti] <- specs:
+			default:
+				// The target's queue is full (it is hung or far behind the
+				// offered rate): drop the batch as errors rather than block
+				// the schedule.
+				mu.Lock()
+				rep.Errors += len(specs)
+				mu.Unlock()
+			}
 		}
-		for _, id := range ids {
-			sentWall[id] = sent
-		}
-		mu.Unlock()
 		i = j
 	}
+	for _, ch := range sendCh {
+		close(ch)
+	}
+	sendWG.Wait()
 	sendWindow := time.Since(t0)
 
 	// Let in-flight decisions land: poll until everything accepted has
@@ -243,27 +330,39 @@ func run() error {
 		time.Sleep(*poll)
 	}
 	close(stopPoll)
-	pr := <-latCh
-	lats := pr.lats
+	pollWG.Wait()
 
-	status, err = getStatus(client, *baseURL)
-	if err != nil {
-		return err
+	// Final per-target stats: rounds and solver counters sum across the
+	// deployment (a gateway's per-shard solver stats included).
+	var endRounds uint64
+	var solver milp.Stats
+	for ti, url := range targets {
+		status, err := getStatus(client, url)
+		if err != nil {
+			return err
+		}
+		endRounds += status.Rounds - startRounds[ti]
+		if status.Solver != nil {
+			solver.Add(*status.Solver)
+		}
+		for _, ss := range status.ShardStatus {
+			if ss.Solver != nil {
+				solver.Add(*ss.Solver)
+			}
+		}
 	}
 	// The throughput window runs from the first submission to the last
 	// observed decision (falling back to now if nothing decided).
 	window := time.Since(t0)
-	if !pr.lastDecided.IsZero() && pr.lastDecided.After(t0) {
-		window = pr.lastDecided.Sub(t0)
+	if !lastDecided.IsZero() && lastDecided.After(t0) {
+		window = lastDecided.Sub(t0)
 	}
 	rep.WindowSec = sendWindow.Seconds()
 	rep.OfferedRate = float64(rep.Offered) / sendWindow.Seconds()
 	rep.DecisionsSec = float64(rep.Decided) / window.Seconds()
-	rep.RoundsSec = float64(status.Rounds-startRounds) / window.Seconds()
-	if status.Solver != nil {
-		rep.SolverIters = status.Solver.SimplexIters
-		rep.SolverWarmPc = 100 * status.Solver.WarmStartHitRate()
-	}
+	rep.RoundsSec = float64(endRounds) / window.Seconds()
+	rep.SolverIters = solver.SimplexIters
+	rep.SolverWarmPc = 100 * solver.WarmStartHitRate()
 	sort.Float64s(lats)
 	rep.LatencyP50Ms = percentile(lats, 0.50)
 	rep.LatencyP90Ms = percentile(lats, 0.90)
@@ -303,13 +402,25 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[idx]
 }
 
-func getStatus(c *http.Client, base string) (*waterwise.ServerStatus, error) {
+// svcStatus is the slice of /v1/status loadgen reads: it decodes both a
+// single server's status and a fleet gateway's aggregate (whose solver
+// stats live per shard under shard_status).
+type svcStatus struct {
+	Free        map[waterwise.RegionID]int `json:"free"`
+	Rounds      uint64                     `json:"rounds"`
+	Solver      *milp.Stats                `json:"solver"`
+	ShardStatus []struct {
+		Solver *milp.Stats `json:"solver"`
+	} `json:"shard_status"`
+}
+
+func getStatus(c *http.Client, base string) (*svcStatus, error) {
 	resp, err := c.Get(base + "/v1/status")
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	var st waterwise.ServerStatus
+	var st svcStatus
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return nil, err
 	}

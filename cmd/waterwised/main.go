@@ -6,6 +6,15 @@
 // same MILP scheduler stack the offline replay uses (cross-round warm
 // starts on by default).
 //
+// With -shards N (N > 1) it runs the region-sharded serving fleet in one
+// process: N scheduler shards, each owning a disjoint partition of the
+// environment's regions, behind a gateway that routes jobs by home
+// region, merges decision logs into one globally seq-numbered stream, and
+// labels metrics per shard. With -partition it runs a single standalone
+// shard of that layout — the same environment (same seed, same series),
+// restricted to the named regions — so separate waterwised processes can
+// each take a partition and be fronted by an external router.
+//
 // Usage:
 //
 //	waterwised [flags]
@@ -17,6 +26,12 @@
 //	-tolerance     delay tolerance fraction                  (default 0.5)
 //	-lambda-carbon λ_CO2 objective weight (λ_H2O = 1-λ_CO2)  (default 0.5)
 //	-regions       comma-separated region subset             (default: all five)
+//	-shards        scheduler shard count; >1 serves the
+//	               sharded fleet behind one gateway          (default 1)
+//	-shard-map     region=shard pins, e.g. "zurich=0,mumbai=1"
+//	               (unpinned regions dealt to emptiest shard)
+//	-partition     standalone-shard mode: serve only these
+//	               regions of the full environment
 //	-horizon-hours environment series horizon                (default 96)
 //	-queue-cap     ingest queue bound (backpressure)         (default 65536)
 //	-decision-log  decision log ring capacity                (default 65536)
@@ -31,6 +46,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -47,6 +63,37 @@ func main() {
 	}
 }
 
+// splitRegions parses a comma-separated region list.
+func splitRegions(csv string) []waterwise.RegionID {
+	var out []waterwise.RegionID
+	for _, r := range strings.Split(csv, ",") {
+		if r = strings.TrimSpace(r); r != "" {
+			out = append(out, waterwise.RegionID(r))
+		}
+	}
+	return out
+}
+
+// parseShardMap parses "region=shard" pins.
+func parseShardMap(csv string) (map[waterwise.RegionID]int, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	out := make(map[waterwise.RegionID]int)
+	for _, pin := range strings.Split(csv, ",") {
+		name, idx, ok := strings.Cut(strings.TrimSpace(pin), "=")
+		if !ok {
+			return nil, fmt.Errorf("shard map entry %q is not region=shard", pin)
+		}
+		n, err := strconv.Atoi(idx)
+		if err != nil {
+			return nil, fmt.Errorf("shard map entry %q: %v", pin, err)
+		}
+		out[waterwise.RegionID(strings.TrimSpace(name))] = n
+	}
+	return out, nil
+}
+
 func run() error {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
@@ -55,6 +102,9 @@ func run() error {
 		tolerance   = flag.Float64("tolerance", 0.5, "delay tolerance fraction")
 		lambdaC     = flag.Float64("lambda-carbon", 0.5, "carbon objective weight (water gets 1-x)")
 		regionsCSV  = flag.String("regions", "", "comma-separated region subset")
+		shards      = flag.Int("shards", 1, "scheduler shard count; >1 serves the sharded fleet")
+		shardMapCSV = flag.String("shard-map", "", "region=shard pins, e.g. zurich=0,mumbai=1")
+		partCSV     = flag.String("partition", "", "standalone-shard mode: serve only these regions of the full environment")
 		horizon     = flag.Int("horizon-hours", 96, "environment series horizon in hours")
 		queueCap    = flag.Int("queue-cap", 0, "ingest queue bound (0 = default 65536)")
 		decisionLog = flag.Int("decision-log", 0, "decision log ring capacity (0 = default 65536)")
@@ -65,14 +115,8 @@ func run() error {
 	)
 	flag.Parse()
 
-	var regions []waterwise.RegionID
-	if *regionsCSV != "" {
-		for _, r := range strings.Split(*regionsCSV, ",") {
-			regions = append(regions, waterwise.RegionID(strings.TrimSpace(r)))
-		}
-	}
 	env, err := waterwise.NewEnvironment(waterwise.EnvironmentConfig{
-		Regions:         regions,
+		Regions:         splitRegions(*regionsCSV),
 		HorizonHours:    *horizon,
 		UseWRIWaterData: *wri,
 		Seed:            *seed,
@@ -80,45 +124,76 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	sched, err := waterwise.NewScheduler(waterwise.SchedulerConfig{
+	schedCfg := waterwise.SchedulerConfig{
 		LambdaCarbon:        *lambdaC,
 		LambdaWater:         1 - *lambdaC,
 		SolverWorkers:       *workers,
 		CrossRoundWarmStart: !*noWarm,
-	})
-	if err != nil {
-		return err
 	}
-	srv, err := waterwise.NewServer(env, sched, waterwise.ServerConfig{
-		Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
-		QueueCap: *queueCap, DecisionLogCap: *decisionLog,
-	})
-	if err != nil {
-		return err
-	}
-	srv.Start()
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
-	errCh := make(chan error, 1)
-	go func() { errCh <- httpSrv.ListenAndServe() }()
 	mode := fmt.Sprintf("paced x%g", *timescale)
 	if *timescale == 0 {
 		mode = "accelerated"
 	}
-	fmt.Printf("waterwised: listening on %s (round %v, %s, tolerance %.0f%%, regions %v)\n",
-		*addr, *round, mode, *tolerance*100, env.Regions())
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	select {
-	case err := <-errCh:
-		srv.Stop()
+	if *shards > 1 {
+		if *partCSV != "" {
+			return fmt.Errorf("-partition is the standalone-shard mode; use -shard-map with -shards")
+		}
+		shardMap, err := parseShardMap(*shardMapCSV)
+		if err != nil {
+			return err
+		}
+		fl, err := waterwise.NewFleet(env, waterwise.FleetConfig{
+			Shards: *shards, ShardMap: shardMap, Scheduler: schedCfg,
+			Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
+			QueueCap: *queueCap, DecisionLogCap: *decisionLog,
+		})
+		if err != nil {
+			return err
+		}
+		fl.Start()
+		fmt.Printf("waterwised: fleet gateway on %s (%d shards, round %v, %s, tolerance %.0f%%)\n",
+			*addr, fl.Shards(), *round, mode, *tolerance*100)
+		for s, part := range fl.Partitions() {
+			fmt.Printf("waterwised: shard %d owns %v\n", s, part)
+		}
+		err = serve(*addr, fl.Handler(), fl.Stop)
+		st := fl.Status()
+		fmt.Printf("waterwised: fleet %d rounds, %d decisions (%d merged, %d lost), %d accepted, %d rejected, %d unscheduled\n",
+			st.Rounds, st.Decisions, st.Merged, st.Lost, st.Accepted, st.Rejected, st.Unscheduled)
+		for _, ss := range st.ShardStatus {
+			fmt.Printf("waterwised: shard %d: %d rounds, %d decisions, %d accepted\n",
+				ss.Shard, ss.Rounds, ss.Decisions, ss.Accepted)
+		}
 		return err
-	case s := <-sig:
-		fmt.Printf("waterwised: %v, shutting down\n", s)
 	}
-	_ = httpSrv.Close()
-	srv.Stop()
+
+	if *shardMapCSV != "" {
+		return fmt.Errorf("-shard-map needs -shards > 1 (got -shards %d)", *shards)
+	}
+	srvCfg := waterwise.ServerConfig{
+		Regions:   splitRegions(*partCSV),
+		Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
+		QueueCap: *queueCap, DecisionLogCap: *decisionLog,
+	}
+	sched, err := waterwise.NewScheduler(schedCfg)
+	if err != nil {
+		return err
+	}
+	srv, err := waterwise.NewServer(env, sched, srvCfg)
+	if err != nil {
+		return err
+	}
+	srv.Start()
+	served := env.Regions()
+	if len(srvCfg.Regions) > 0 {
+		served = srvCfg.Regions
+		fmt.Printf("waterwised: standalone shard over partition %v of %v\n", served, env.Regions())
+	}
+	fmt.Printf("waterwised: listening on %s (round %v, %s, tolerance %.0f%%, regions %v)\n",
+		*addr, *round, mode, *tolerance*100, served)
+	err = serve(*addr, srv.Handler(), srv.Stop)
 	st := srv.Status()
 	fmt.Printf("waterwised: %d rounds, %d decisions, %d accepted, %d rejected, %d unscheduled\n",
 		st.Rounds, st.Decisions, st.Accepted, st.Rejected, st.Unscheduled)
@@ -126,5 +201,25 @@ func run() error {
 		fmt.Printf("waterwised: solver %d nodes, %d simplex iters, %.0f%% warm-served, %v wall\n",
 			st.Solver.Nodes, st.Solver.SimplexIters, 100*st.Solver.WarmStartHitRate(), st.Solver.Wall.Round(time.Millisecond))
 	}
+	return err
+}
+
+// serve runs the HTTP server until SIGINT/SIGTERM or a listen error, then
+// stops the scheduling service and returns the listen error, if any.
+func serve(addr string, h http.Handler, stop func()) error {
+	httpSrv := &http.Server{Addr: addr, Handler: h}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		stop()
+		return err
+	case s := <-sig:
+		fmt.Printf("waterwised: %v, shutting down\n", s)
+	}
+	_ = httpSrv.Close()
+	stop()
 	return nil
 }

@@ -186,6 +186,58 @@ func (r *Result) ViolationRate() float64 {
 	return float64(v) / float64(len(r.Outcomes))
 }
 
+// MergeResults merges the per-partition results of one region-sharded run
+// into a single Result, as if one simulator had executed every job:
+// outcomes and unscheduled jobs are re-sorted into the canonical job-ID
+// order, and per-round ticks are merged by round time with the batch
+// sizes, decision counts, and overheads of concurrent shard rounds summed
+// (the overhead sum is aggregate solver wall time across shards — Fig.
+// 13's fleet-wide decision cost). All parts must share a tolerance;
+// distinct scheduler names are joined with "+".
+func MergeResults(parts ...*Result) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("cluster: merging zero results")
+	}
+	for _, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("cluster: merging nil result")
+		}
+	}
+	merged := &Result{Scheduler: parts[0].Scheduler, Tolerance: parts[0].Tolerance}
+	var ticks []TickStat
+	for _, p := range parts {
+		if p.Tolerance != merged.Tolerance {
+			return nil, fmt.Errorf("cluster: merging results with tolerances %g and %g",
+				merged.Tolerance, p.Tolerance)
+		}
+		if p.Scheduler != merged.Scheduler {
+			merged.Scheduler = merged.Scheduler + "+" + p.Scheduler
+		}
+		merged.Outcomes = append(merged.Outcomes, p.Outcomes...)
+		merged.Unscheduled = append(merged.Unscheduled, p.Unscheduled...)
+		ticks = append(ticks, p.Ticks...)
+	}
+	sort.Slice(merged.Outcomes, func(i, j int) bool {
+		return merged.Outcomes[i].Job.ID < merged.Outcomes[j].Job.ID
+	})
+	sort.Slice(merged.Unscheduled, func(i, j int) bool {
+		return merged.Unscheduled[i].ID < merged.Unscheduled[j].ID
+	})
+	// Coalesce ticks of the same round across shards: each part's ticks are
+	// already time-ordered, so a stable sort by At groups concurrent rounds.
+	sort.SliceStable(ticks, func(i, j int) bool { return ticks[i].At.Before(ticks[j].At) })
+	for _, t := range ticks {
+		if n := len(merged.Ticks); n > 0 && merged.Ticks[n-1].At.Equal(t.At) {
+			merged.Ticks[n-1].Batch += t.Batch
+			merged.Ticks[n-1].Decided += t.Decided
+			merged.Ticks[n-1].Overhead += t.Overhead
+			continue
+		}
+		merged.Ticks = append(merged.Ticks, t)
+	}
+	return merged, nil
+}
+
 // Config parameterizes a simulation run.
 type Config struct {
 	Env *region.Environment

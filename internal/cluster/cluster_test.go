@@ -348,3 +348,69 @@ func (r *testRand) Intn(n int) int {
 	r.state = r.state*6364136223846793005 + 1442695040888963407
 	return int((r.state >> 33) % uint64(n))
 }
+
+// TestMergeResults covers the per-partition result merge the fleet uses:
+// canonical job-ID ordering across parts, tick coalescing by round time,
+// and the misuse rejections.
+func TestMergeResults(t *testing.T) {
+	at0, at1 := testStart, testStart.Add(time.Minute)
+	j := func(id int) *trace.Job { return &trace.Job{ID: id, Submit: testStart} }
+	a := &Result{
+		Scheduler: "waterwise", Tolerance: 0.5,
+		Outcomes: []JobOutcome{
+			{Job: j(1), Region: region.Zurich, Start: at0},
+			{Job: j(4), Region: region.Zurich, Start: at1},
+		},
+		Ticks:       []TickStat{{At: at0, Batch: 2, Decided: 1, Overhead: time.Millisecond}, {At: at1, Batch: 1, Decided: 1, Overhead: time.Millisecond}},
+		Unscheduled: []*trace.Job{j(9)},
+	}
+	b := &Result{
+		Scheduler: "waterwise", Tolerance: 0.5,
+		Outcomes: []JobOutcome{
+			{Job: j(0), Region: region.Mumbai, Start: at0},
+			{Job: j(2), Region: region.Mumbai, Start: at0},
+		},
+		Ticks:       []TickStat{{At: at0, Batch: 2, Decided: 2, Overhead: 3 * time.Millisecond}},
+		Unscheduled: []*trace.Job{j(7)},
+	}
+	m, err := MergeResults(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []int{0, 1, 2, 4}
+	if len(m.Outcomes) != len(wantIDs) {
+		t.Fatalf("merged %d outcomes", len(m.Outcomes))
+	}
+	for i, id := range wantIDs {
+		if m.Outcomes[i].Job.ID != id {
+			t.Fatalf("outcome %d is job %d, want %d", i, m.Outcomes[i].Job.ID, id)
+		}
+	}
+	if len(m.Unscheduled) != 2 || m.Unscheduled[0].ID != 7 || m.Unscheduled[1].ID != 9 {
+		t.Fatalf("merged unscheduled %v", m.Unscheduled)
+	}
+	// at0 ticks from both parts coalesce; at1 stays alone.
+	if len(m.Ticks) != 2 {
+		t.Fatalf("merged %d ticks, want 2", len(m.Ticks))
+	}
+	if m.Ticks[0].Batch != 4 || m.Ticks[0].Decided != 3 || m.Ticks[0].Overhead != 4*time.Millisecond {
+		t.Fatalf("coalesced tick %+v", m.Ticks[0])
+	}
+	if m.Ticks[1] != a.Ticks[1] {
+		t.Fatalf("tick at %v altered: %+v", at1, m.Ticks[1])
+	}
+	if m.Scheduler != "waterwise" {
+		t.Fatalf("scheduler %q", m.Scheduler)
+	}
+	// Distinct names are joined; mismatched tolerances are rejected.
+	c := &Result{Scheduler: "baseline", Tolerance: 0.5}
+	if m, err := MergeResults(a, c); err != nil || m.Scheduler != "waterwise+baseline" {
+		t.Fatalf("joined name %q, err %v", m.Scheduler, err)
+	}
+	if _, err := MergeResults(a, &Result{Scheduler: "waterwise", Tolerance: 0.25}); err == nil {
+		t.Error("tolerance mismatch accepted")
+	}
+	if _, err := MergeResults(); err == nil {
+		t.Error("empty merge accepted")
+	}
+}

@@ -1,0 +1,479 @@
+// Package fleet is the horizontal scale-out layer of the serving stack: N
+// scheduler shards behind one gateway. Each shard is a full server.Server
+// owning a disjoint partition of the regions of one shared
+// region.Environment (an Environment.Partition view — same generated
+// series, fewer regions), running its own round loop, solver stack, and
+// decision log. The gateway routes job submissions by home region to the
+// owning shard, merges the per-shard decision logs into one globally
+// seq-numbered stream, and aggregates status and metrics with per-shard
+// labels.
+//
+// Sharding by home region is exact, not approximate: a shard schedules
+// its jobs over its own regions only, so within each partition the fleet
+// is decision-for-decision identical to a dedicated single server (or the
+// offline cluster.Run) over that partition — the acceptance test in
+// fleet_test.go proves it. The trade is that geo-shifting is confined to
+// the partition: operators group regions so the moves that matter stay
+// intra-shard (e.g. one shard per continent), and a 1-shard fleet is
+// exactly the old single server.
+//
+// The merged decision stream is ordered by (round, shard, shard-seq)
+// under a round watermark: a decision is emitted only once every shard's
+// round clock has passed its round (a drained shard's clock counts as
+// infinite), so the interleaving is deterministic no matter how far the
+// shards' accelerated clocks diverge while rounds were running. Global
+// sequence numbers are dense — gap-free — by construction; shard-ring
+// evictions that outrun the merge are counted and surfaced as Lost rather
+// than silently renumbered.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"waterwise/internal/cluster"
+	"waterwise/internal/footprint"
+	"waterwise/internal/region"
+	"waterwise/internal/server"
+	"waterwise/internal/transfer"
+)
+
+// Config parameterizes the fleet.
+type Config struct {
+	// Env is the shared environment; each shard sees a partition view of
+	// it, never a reseeded copy.
+	Env *region.Environment
+	// Net and FP are shared across shards (both stateless; defaulted like
+	// server.Config).
+	Net *transfer.Model
+	FP  *footprint.Model
+	// NewScheduler builds the scheduler for one shard. Schedulers are
+	// stateful and single-threaded by the cluster.Scheduler contract, so
+	// every shard needs its own instance.
+	NewScheduler func(shard int, regions []region.ID) (cluster.Scheduler, error)
+	// Shards is the shard count (default 1; at most the region count).
+	Shards int
+	// ShardMap pins regions to shards (region → shard index in
+	// [0, Shards)). Regions absent from the map are dealt to the emptiest
+	// shard in environment order; every shard must end up owning at least
+	// one region. A nil map deals all regions that way, which balances
+	// them round-robin.
+	ShardMap map[region.ID]int
+	// Tolerance, Round, and TimeScale are shared by every shard, keeping
+	// the shard round clocks aligned (all fire at Env.Start + k*Round).
+	Tolerance float64
+	Round     time.Duration
+	TimeScale float64
+	// QueueCap bounds each shard's ingest queue (server.Config.QueueCap).
+	QueueCap int
+	// DecisionLogCap bounds the merged decision ring; it is also each
+	// shard's local ring capacity (default 65536).
+	DecisionLogCap int
+}
+
+// Decision is one merged placement: a shard's decision re-stamped with
+// the fleet-wide sequence number. Seq (in the embedded server.Decision)
+// carries the global stream position; ShardSeq preserves the shard-local
+// number the merge consumed.
+type Decision struct {
+	server.Decision
+	Shard    int    `json:"shard"`
+	ShardSeq uint64 `json:"shard_seq"`
+}
+
+// ShardStatus is one shard's snapshot plus its identity in the fleet.
+type ShardStatus struct {
+	Shard   int         `json:"shard"`
+	Regions []region.ID `json:"regions"`
+	server.Status
+}
+
+// Status aggregates the fleet: summed counters, the union of per-region
+// free servers, and every shard's own snapshot.
+type Status struct {
+	Shards    int     `json:"shards"`
+	Scheduler string  `json:"scheduler"`
+	Round     string  `json:"round"`
+	TimeScale float64 `json:"time_scale"`
+	Pending   int     `json:"pending"`
+	Future    int     `json:"future"`
+	QueueCap  int     `json:"queue_cap"`
+	Accepted  uint64  `json:"accepted"`
+	Rejected  uint64  `json:"rejected"`
+	Rounds    uint64  `json:"rounds"`
+	Decisions uint64  `json:"decisions"`
+	// Merged counts decisions emitted into the global stream; it trails
+	// Decisions until the next merge pull catches up.
+	Merged uint64 `json:"merged"`
+	// Lost counts decisions evicted from a shard's ring before the merge
+	// read them (log gap — a sizing failure; see DESIGN.md).
+	Lost        uint64            `json:"lost"`
+	Unscheduled int               `json:"unscheduled"`
+	Free        map[region.ID]int `json:"free"`
+	Err         string            `json:"err,omitempty"`
+	ShardStatus []ShardStatus     `json:"shard_status"`
+}
+
+// Fleet runs N scheduler shards behind one gateway. Construct with New,
+// start the shard round loops with Start, attach the HTTP API via
+// Handler, and stop with Stop.
+type Fleet struct {
+	cfg    Config
+	shards []*server.Server
+	parts  [][]region.ID
+	owner  map[region.ID]int
+
+	mu     sync.Mutex
+	autoID int
+	// k-way merge state: the per-shard local-seq cursor, decisions fetched
+	// but not yet past the watermark, and the merged global ring.
+	cursors []uint64
+	staged  [][]server.Decision
+	merged  []Decision
+	head    int
+	seq     uint64
+	lost    uint64
+}
+
+// partition assigns every region of env to a shard: pinned regions first,
+// the rest dealt to the emptiest shard in environment order.
+func partition(env *region.Environment, shards int, pin map[region.ID]int) ([][]region.ID, error) {
+	ids := env.IDs()
+	if shards > len(ids) {
+		return nil, fmt.Errorf("fleet: %d shards over %d regions leaves empty shards", shards, len(ids))
+	}
+	for id, s := range pin {
+		if env.Region(id) == nil {
+			return nil, fmt.Errorf("fleet: shard map names unknown region %q", id)
+		}
+		if s < 0 || s >= shards {
+			return nil, fmt.Errorf("fleet: shard map sends region %q to shard %d of %d", id, s, shards)
+		}
+	}
+	parts := make([][]region.ID, shards)
+	for _, id := range ids {
+		if s, ok := pin[id]; ok {
+			parts[s] = append(parts[s], id)
+		}
+	}
+	for _, id := range ids {
+		if _, ok := pin[id]; ok {
+			continue
+		}
+		best := 0
+		for s := 1; s < shards; s++ {
+			if len(parts[s]) < len(parts[best]) {
+				best = s
+			}
+		}
+		parts[best] = append(parts[best], id)
+	}
+	for s, p := range parts {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("fleet: shard map leaves shard %d with no regions", s)
+		}
+	}
+	return parts, nil
+}
+
+// New validates cfg, partitions the environment, and builds one stopped
+// server per shard; call Start to begin scheduling rounds.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Env == nil {
+		return nil, errors.New("fleet: nil environment")
+	}
+	if cfg.NewScheduler == nil {
+		return nil, errors.New("fleet: nil scheduler factory")
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.DecisionLogCap <= 0 {
+		cfg.DecisionLogCap = 65536
+	}
+	parts, err := partition(cfg.Env, cfg.Shards, cfg.ShardMap)
+	if err != nil {
+		return nil, err
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		parts:   parts,
+		owner:   make(map[region.ID]int, len(cfg.Env.Regions)),
+		shards:  make([]*server.Server, cfg.Shards),
+		cursors: make([]uint64, cfg.Shards),
+		staged:  make([][]server.Decision, cfg.Shards),
+	}
+	for s, p := range parts {
+		for _, id := range p {
+			f.owner[id] = s
+		}
+		sched, err := cfg.NewScheduler(s, p)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: building shard %d scheduler: %w", s, err)
+		}
+		srv, err := server.New(server.Config{
+			Env: cfg.Env, Regions: p, Net: cfg.Net, FP: cfg.FP,
+			Scheduler: sched, Tolerance: cfg.Tolerance,
+			Round: cfg.Round, TimeScale: cfg.TimeScale,
+			QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: building shard %d: %w", s, err)
+		}
+		f.shards[s] = srv
+	}
+	return f, nil
+}
+
+// Shards reports the shard count.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Partitions returns each shard's region partition (copies).
+func (f *Fleet) Partitions() [][]region.ID {
+	out := make([][]region.ID, len(f.parts))
+	for s, p := range f.parts {
+		out[s] = append([]region.ID(nil), p...)
+	}
+	return out
+}
+
+// Owner reports which shard owns a region.
+func (f *Fleet) Owner(id region.ID) (int, bool) {
+	s, ok := f.owner[id]
+	return s, ok
+}
+
+// Shard exposes one shard's server (tests and the standalone-shard
+// daemon mode reach through this; production callers use the gateway).
+func (f *Fleet) Shard(i int) *server.Server { return f.shards[i] }
+
+// Submit routes one job to the shard owning its home region. Ids are
+// assigned fleet-wide when the spec carries none, so the merged decision
+// log never sees two shards mint the same id; client-assigned ids must be
+// unique per home shard (globally unique ids satisfy that trivially).
+func (f *Fleet) Submit(spec server.JobSpec) (int, error) {
+	shard, ok := f.owner[spec.Home]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", server.ErrUnknownRegion, spec.Home)
+	}
+	f.mu.Lock()
+	if spec.ID == nil {
+		id := f.autoID
+		spec.ID = &id
+	}
+	if *spec.ID >= f.autoID {
+		f.autoID = *spec.ID + 1
+	}
+	f.mu.Unlock()
+	return f.shards[shard].Submit(spec)
+}
+
+// Start launches every shard's round loop.
+func (f *Fleet) Start() {
+	for _, s := range f.shards {
+		s.Start()
+	}
+}
+
+// Stop halts every shard (concurrently — a shard mid-drain must not delay
+// the others' shutdown), then pulls the final decisions into the merged
+// log. Idempotent.
+func (f *Fleet) Stop() {
+	var wg sync.WaitGroup
+	for _, s := range f.shards {
+		wg.Add(1)
+		go func(s *server.Server) {
+			defer wg.Done()
+			s.Stop()
+		}(s)
+	}
+	wg.Wait()
+	f.mu.Lock()
+	f.mergeLocked()
+	f.mu.Unlock()
+}
+
+// Drain blocks until every shard's queue and pending set are empty, a
+// shard's round loop fails, or the context expires, then merges the
+// settled logs. With all shards drained the merged stream is total: every
+// decision emitted, fully (round, shard, shard-seq)-ordered.
+func (f *Fleet) Drain(ctx context.Context) error {
+	errs := make([]error, len(f.shards))
+	var wg sync.WaitGroup
+	for i, s := range f.shards {
+		wg.Add(1)
+		go func(i int, s *server.Server) {
+			defer wg.Done()
+			errs[i] = s.Drain(ctx)
+		}(i, s)
+	}
+	wg.Wait()
+	f.mu.Lock()
+	f.mergeLocked()
+	f.mu.Unlock()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Err reports the first shard round-loop failure, if any.
+func (f *Fleet) Err() error {
+	for _, s := range f.shards {
+		if err := s.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result merges every shard's accounting into one cluster.Result, as if a
+// single simulator had executed the whole trace. Call after Stop or Drain
+// for a settled view.
+func (f *Fleet) Result() (*cluster.Result, error) {
+	parts := make([]*cluster.Result, len(f.shards))
+	for i, s := range f.shards {
+		parts[i] = s.Result()
+	}
+	return cluster.MergeResults(parts...)
+}
+
+// mergeLocked advances the k-way merge: pull new decisions from every
+// shard, then emit into the global ring — in (round, shard, shard-seq)
+// order — every staged decision whose round is final fleet-wide. A round
+// is final once each shard's frontier has passed it; a drained shard's
+// frontier counts as infinite (it cannot decide anything at a round it
+// has already slept through unless new work arrives, in which case those
+// decisions join the stream late but the global seq stays dense). Called
+// with f.mu held; takes each shard's own lock via DecisionsPage.
+func (f *Fleet) mergeLocked() {
+	var watermark time.Time
+	unbounded := true
+	for i, s := range f.shards {
+		page, cur := s.DecisionsPage(f.cursors[i], 0)
+		if len(page) > 0 {
+			if first := page[0].Seq; first > f.cursors[i]+1 {
+				// The shard ring evicted decisions before we read them:
+				// count the gap instead of silently renumbering over it.
+				f.lost += first - f.cursors[i] - 1
+			}
+			f.cursors[i] = page[len(page)-1].Seq
+			f.staged[i] = append(f.staged[i], page...)
+		}
+		if !cur.Idle {
+			if unbounded || cur.Frontier.Before(watermark) {
+				watermark = cur.Frontier
+				unbounded = false
+			}
+		}
+	}
+	for {
+		best := -1
+		for i := range f.staged {
+			if len(f.staged[i]) == 0 {
+				continue
+			}
+			h := &f.staged[i][0]
+			if !unbounded && h.Round.After(watermark) {
+				continue
+			}
+			if best == -1 || h.Round.Before(f.staged[best][0].Round) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return
+		}
+		d := f.staged[best][0]
+		f.staged[best] = f.staged[best][1:]
+		if len(f.staged[best]) == 0 {
+			f.staged[best] = nil // release the drained backing array
+		}
+		f.seq++
+		md := Decision{Decision: d, Shard: best, ShardSeq: d.Seq}
+		md.Decision.Seq = f.seq
+		if len(f.merged) < f.cfg.DecisionLogCap {
+			f.merged = append(f.merged, md)
+			continue
+		}
+		f.merged[f.head] = md
+		f.head = (f.head + 1) % len(f.merged)
+	}
+}
+
+// Decisions returns up to limit merged decisions with global Seq > since,
+// oldest first (limit <= 0 means all), pulling any newly final shard
+// decisions into the stream first. The merged log is a bounded ring like
+// each shard's own.
+func (f *Fleet) Decisions(since uint64, limit int) []Decision {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.mergeLocked()
+	n := len(f.merged)
+	if n == 0 {
+		return []Decision{}
+	}
+	lo, hi := 0, n
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if f.merged[(f.head+mid)%n].Seq <= since {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	count := n - lo
+	if limit > 0 && count > limit {
+		count = limit
+	}
+	out := make([]Decision, count)
+	for i := range out {
+		out[i] = f.merged[(f.head+lo+i)%n]
+	}
+	return out
+}
+
+// Status aggregates every shard's snapshot.
+func (f *Fleet) Status() Status {
+	st := Status{
+		Shards:      len(f.shards),
+		Free:        make(map[region.ID]int),
+		ShardStatus: make([]ShardStatus, len(f.shards)),
+	}
+	// Merge before reading the shard counters: a decision logged between
+	// the two reads then shows up in Decisions but not yet in Merged,
+	// keeping the documented Merged <= Decisions invariant (monitors
+	// compute the backlog as their difference).
+	f.mu.Lock()
+	f.mergeLocked()
+	st.Merged = f.seq
+	st.Lost = f.lost
+	f.mu.Unlock()
+	for i, s := range f.shards {
+		ss := s.Status()
+		st.ShardStatus[i] = ShardStatus{Shard: i, Regions: append([]region.ID(nil), f.parts[i]...), Status: ss}
+		st.Pending += ss.Pending
+		st.Future += ss.Future
+		st.QueueCap += ss.QueueCap
+		st.Accepted += ss.Accepted
+		st.Rejected += ss.Rejected
+		st.Rounds += ss.Rounds
+		st.Decisions += ss.Decisions
+		st.Unscheduled += ss.Unscheduled
+		for id, n := range ss.Free {
+			st.Free[id] = n
+		}
+		if st.Err == "" {
+			st.Err = ss.Err
+		}
+	}
+	st.Scheduler = st.ShardStatus[0].Scheduler
+	st.Round = st.ShardStatus[0].Round
+	st.TimeScale = st.ShardStatus[0].TimeScale
+	return st
+}

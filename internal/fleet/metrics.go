@@ -1,0 +1,138 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+
+	"waterwise/internal/region"
+)
+
+// handleMetrics serves Prometheus text-format metrics for the whole
+// fleet: the per-server series a single waterwised exports, labeled by
+// shard, plus the fleet-level merge counters. Labeling (rather than
+// summing) keeps a hot shard visible — the operator's question for a
+// sharded deployment is "which shard is behind", not just "how many
+// decisions total"; sums are one PromQL aggregation away.
+func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	st := f.Status()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b []byte
+	head := func(name, typ, help string) {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)...)
+	}
+	row := func(name string, shard int, v float64) {
+		b = append(b, fmt.Sprintf("%s{shard=\"%d\"} %g\n", name, shard, v)...)
+	}
+
+	head("waterwise_fleet_shards", "gauge", "Scheduler shards behind this gateway.")
+	b = append(b, fmt.Sprintf("waterwise_fleet_shards %d\n", st.Shards)...)
+	head("waterwise_fleet_merged_decisions_total", "counter", "Decisions emitted into the merged global stream.")
+	b = append(b, fmt.Sprintf("waterwise_fleet_merged_decisions_total %d\n", st.Merged)...)
+	head("waterwise_fleet_lost_decisions_total", "counter", "Decisions evicted from a shard ring before the merge read them.")
+	b = append(b, fmt.Sprintf("waterwise_fleet_lost_decisions_total %d\n", st.Lost)...)
+
+	perShard := []struct {
+		name, typ, help string
+		v               func(ShardStatus) float64
+	}{
+		{"waterwise_jobs_accepted_total", "counter", "Jobs accepted into the shard's ingest queue.",
+			func(s ShardStatus) float64 { return float64(s.Accepted) }},
+		{"waterwise_jobs_rejected_total", "counter", "Jobs rejected by the shard (backpressure, validation, duplicates).",
+			func(s ShardStatus) float64 { return float64(s.Rejected) }},
+		{"waterwise_rounds_total", "counter", "Scheduling rounds run by the shard.",
+			func(s ShardStatus) float64 { return float64(s.Rounds) }},
+		{"waterwise_decisions_total", "counter", "Placement decisions committed by the shard.",
+			func(s ShardStatus) float64 { return float64(s.Decisions) }},
+		{"waterwise_jobs_unscheduled_total", "counter", "Jobs abandoned without a placement.",
+			func(s ShardStatus) float64 { return float64(s.Unscheduled) }},
+		{"waterwise_queue_pending", "gauge", "Jobs awaiting a placement decision.",
+			func(s ShardStatus) float64 { return float64(s.Pending) }},
+		{"waterwise_queue_future", "gauge", "Accepted jobs not yet due for a round.",
+			func(s ShardStatus) float64 { return float64(s.Future) }},
+		{"waterwise_queue_cap", "gauge", "Ingest queue capacity (backpressure threshold).",
+			func(s ShardStatus) float64 { return float64(s.QueueCap) }},
+		{"waterwise_round_overhead_mean_ms", "gauge", "Mean per-round scheduler invocation cost (Fig. 13).",
+			func(s ShardStatus) float64 { return s.RoundOverheadMeanMs }},
+	}
+	for _, m := range perShard {
+		head(m.name, m.typ, m.help)
+		for _, ss := range st.ShardStatus {
+			row(m.name, ss.Shard, m.v(ss))
+		}
+	}
+
+	head("waterwise_region_free_servers", "gauge", "Servers free per region at the owning shard's simulated clock.")
+	for _, ss := range st.ShardStatus {
+		ids := make([]string, 0, len(ss.Free))
+		for id := range ss.Free {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			b = append(b, fmt.Sprintf("waterwise_region_free_servers{region=%q,shard=\"%d\"} %d\n",
+				id, ss.Shard, ss.Free[region.ID(id)])...)
+		}
+	}
+
+	solver := []struct {
+		name, help string
+		v          func(ShardStatus) (float64, bool)
+	}{
+		{"waterwise_solver_nodes_total", "Branch-and-bound nodes across the shard's rounds.",
+			func(s ShardStatus) (float64, bool) {
+				if s.Solver == nil {
+					return 0, false
+				}
+				return float64(s.Solver.Nodes), true
+			}},
+		{"waterwise_solver_simplex_iters_total", "Simplex pivots across the shard's rounds.",
+			func(s ShardStatus) (float64, bool) {
+				if s.Solver == nil {
+					return 0, false
+				}
+				return float64(s.Solver.SimplexIters), true
+			}},
+		{"waterwise_solver_warm_starts_total", "LP solves served by a warm start.",
+			func(s ShardStatus) (float64, bool) {
+				if s.Solver == nil {
+					return 0, false
+				}
+				return float64(s.Solver.WarmStarts), true
+			}},
+		{"waterwise_solver_cold_starts_total", "LP solves run from scratch.",
+			func(s ShardStatus) (float64, bool) {
+				if s.Solver == nil {
+					return 0, false
+				}
+				return float64(s.Solver.ColdStarts), true
+			}},
+		{"waterwise_solver_wall_seconds_total", "Aggregate solver wall time.",
+			func(s ShardStatus) (float64, bool) {
+				if s.Solver == nil {
+					return 0, false
+				}
+				return s.Solver.Wall.Seconds(), true
+			}},
+	}
+	for _, m := range solver {
+		wrote := false
+		for _, ss := range st.ShardStatus {
+			v, ok := m.v(ss)
+			if !ok {
+				continue
+			}
+			if !wrote {
+				head(m.name, "counter", m.help)
+				wrote = true
+			}
+			row(m.name, ss.Shard, v)
+		}
+	}
+	_, _ = w.Write(b)
+}

@@ -224,6 +224,41 @@ func NewEnvironment(regions []*Region, tbl energy.FactorTable, start time.Time, 
 // Region returns the static region description for id, or nil if unknown.
 func (e *Environment) Region(id ID) *Region { return e.byID[id] }
 
+// Partition returns a view of the environment restricted to the named
+// regions, in the given order. The view shares the receiver's generated
+// grid-mix and weather series — partitioning never regenerates or reseeds
+// them, so a snapshot read through a view is bit-identical to one read
+// through the full environment. That sharing is what makes region-sharded
+// serving (internal/fleet) decision-identical to a single scheduler over
+// the same world: every shard sees the same series the single server
+// would, just fewer regions of it.
+func (e *Environment) Partition(ids ...ID) (*Environment, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("region: empty partition")
+	}
+	view := &Environment{
+		Table: e.Table,
+		Start: e.Start,
+		Hours: e.Hours,
+		byID:  make(map[ID]*Region, len(ids)),
+		grid:  e.grid,
+		wx:    e.wx,
+	}
+	view.Regions = make([]*Region, 0, len(ids))
+	for _, id := range ids {
+		r, ok := e.byID[id]
+		if !ok {
+			return nil, fmt.Errorf("region: partition names unknown region %q", id)
+		}
+		if _, dup := view.byID[id]; dup {
+			return nil, fmt.Errorf("region: partition names region %q twice", id)
+		}
+		view.Regions = append(view.Regions, r)
+		view.byID[id] = r
+	}
+	return view, nil
+}
+
 // IDs returns the region IDs in registry order.
 func (e *Environment) IDs() []ID {
 	out := make([]ID, len(e.Regions))

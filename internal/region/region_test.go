@@ -227,3 +227,51 @@ func TestIDsOrder(t *testing.T) {
 		t.Errorf("End() = %v", got)
 	}
 }
+
+// TestPartitionSharesSeries is the sharding precondition: a partition
+// view must answer snapshots bit-identically to the full environment —
+// the series are shared, never regenerated with partition-local seeds.
+func TestPartitionSharesSeries(t *testing.T) {
+	env, err := NewEnvironment(Defaults(), energy.Table, testStart, 24*7, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view, err := env.Partition(Mumbai, Madrid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := view.IDs()
+	if len(ids) != 2 || ids[0] != Mumbai || ids[1] != Madrid {
+		t.Fatalf("partition IDs = %v, want given order", ids)
+	}
+	if !view.Start.Equal(env.Start) || view.Hours != env.Hours || !view.End().Equal(env.End()) {
+		t.Fatalf("partition horizon differs: [%v, %v) vs [%v, %v)", view.Start, view.End(), env.Start, env.End())
+	}
+	for h := 0; h < 24*7; h++ {
+		at := testStart.Add(time.Duration(h) * time.Hour)
+		for _, id := range ids {
+			sv, okv := view.Snapshot(id, at)
+			se, oke := env.Snapshot(id, at)
+			if !okv || !oke || sv != se {
+				t.Fatalf("snapshot for %s at hour %d differs through the view", id, h)
+			}
+		}
+	}
+	// Out-of-partition regions are invisible to the view.
+	if view.Region(Zurich) != nil {
+		t.Error("view answers for an out-of-partition region")
+	}
+	if _, ok := view.Snapshot(Zurich, testStart); ok {
+		t.Error("view snapshots an out-of-partition region")
+	}
+	// Misuse is rejected.
+	if _, err := env.Partition(); err == nil {
+		t.Error("empty partition accepted")
+	}
+	if _, err := env.Partition("atlantis"); err == nil {
+		t.Error("unknown region accepted")
+	}
+	if _, err := env.Partition(Mumbai, Mumbai); err == nil {
+		t.Error("duplicate region accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"unicode"
 )
@@ -21,6 +22,23 @@ func isJSONArray(body []byte) bool {
 	return false
 }
 
+// DecodeJobSpecs decodes a POST /v1/jobs body: a single JobSpec object or
+// an array of them. Shared by this server's handler and the fleet gateway.
+func DecodeJobSpecs(body []byte) ([]JobSpec, error) {
+	if isJSONArray(body) {
+		var specs []JobSpec
+		if err := json.Unmarshal(body, &specs); err != nil {
+			return nil, fmt.Errorf("decoding jobs: %w", err)
+		}
+		return specs, nil
+	}
+	var one JobSpec
+	if err := json.Unmarshal(body, &one); err != nil {
+		return nil, fmt.Errorf("decoding job: %w", err)
+	}
+	return []JobSpec{one}, nil
+}
+
 // API paths served by Handler.
 const (
 	PathJobs      = "/v1/jobs"
@@ -29,15 +47,18 @@ const (
 	PathMetrics   = "/metrics"
 )
 
-// submitResponse is the POST /v1/jobs reply.
-type submitResponse struct {
+// SubmitResponse is the POST /v1/jobs reply — shared with the fleet
+// gateway so clients drive a shard and a gateway with the same code.
+type SubmitResponse struct {
 	Accepted []int  `json:"accepted"`
 	Error    string `json:"error,omitempty"`
 }
 
-// decisionsResponse is the GET /v1/decisions reply.
-type decisionsResponse struct {
-	Decisions []Decision `json:"decisions"`
+// DecisionsResponse is the GET /v1/decisions reply. Decisions holds the
+// log page — []Decision from a single server, []fleet.Decision through
+// the gateway.
+type DecisionsResponse struct {
+	Decisions interface{} `json:"decisions"`
 	// Next is the cursor to pass as ?since= on the next poll.
 	Next uint64 `json:"next"`
 }
@@ -50,103 +71,128 @@ type decisionsResponse struct {
 //	GET  /metrics       — Prometheus text metrics
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(PathJobs, s.handleJobs)
-	mux.HandleFunc(PathDecisions, s.handleDecisions)
-	mux.HandleFunc(PathStatus, s.handleStatus)
+	mux.HandleFunc(PathJobs, JobsHandler(s.Submit))
+	mux.HandleFunc(PathDecisions, DecisionsHandler(func(since uint64, limit int) (interface{}, uint64) {
+		ds := s.Decisions(since, limit)
+		next := since
+		if len(ds) > 0 {
+			next = ds[len(ds)-1].Seq
+		}
+		return ds, next
+	}))
+	mux.HandleFunc(PathStatus, StatusHandler(func() interface{} { return s.Status() }))
 	mux.HandleFunc(PathMetrics, s.handleMetrics)
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+// WriteJSON writes v as a JSON response with the given status code.
+func WriteJSON(w http.ResponseWriter, code int, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// handleJobs ingests one JobSpec, or an array of them atomically-per-job
-// (the response lists the ids accepted before the first failure).
-func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, submitResponse{Error: "POST only"})
-		return
-	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
-	if err != nil {
-		writeJSON(w, http.StatusBadRequest, submitResponse{Error: fmt.Sprintf("reading body: %v", err)})
-		return
-	}
-	var specs []JobSpec
-	if isJSONArray(body) {
-		if err := json.Unmarshal(body, &specs); err != nil {
-			writeJSON(w, http.StatusBadRequest, submitResponse{Error: fmt.Sprintf("decoding jobs: %v", err)})
-			return
-		}
-	} else {
-		var one JobSpec
-		if err := json.Unmarshal(body, &one); err != nil {
-			writeJSON(w, http.StatusBadRequest, submitResponse{Error: fmt.Sprintf("decoding job: %v", err)})
-			return
-		}
-		specs = []JobSpec{one}
-	}
-	ids := make([]int, 0, len(specs))
-	for _, spec := range specs {
-		id, err := s.Submit(spec)
-		if err != nil {
-			code := http.StatusBadRequest
-			switch {
-			case errors.Is(err, ErrQueueFull):
-				code = http.StatusTooManyRequests
-			case errors.Is(err, ErrStopped):
-				code = http.StatusServiceUnavailable
-			}
-			writeJSON(w, code, submitResponse{Accepted: ids, Error: err.Error()})
-			return
-		}
-		ids = append(ids, id)
-	}
-	writeJSON(w, http.StatusAccepted, submitResponse{Accepted: ids})
-}
-
-func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeJSON(w, http.StatusMethodNotAllowed, submitResponse{Error: "GET only"})
-		return
-	}
-	q := r.URL.Query()
-	var since uint64
-	var limit int
+// ParseDecisionsQuery parses GET /v1/decisions' since/limit parameters —
+// one cursor grammar for the single server and the fleet gateway.
+func ParseDecisionsQuery(q url.Values) (since uint64, limit int, err error) {
 	if v := q.Get("since"); v != "" {
-		n, err := strconv.ParseUint(v, 10, 64)
+		since, err = strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, submitResponse{Error: "bad since"})
-			return
+			return 0, 0, errors.New("bad since")
 		}
-		since = n
 	}
 	if v := q.Get("limit"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil || n < 0 {
-			writeJSON(w, http.StatusBadRequest, submitResponse{Error: "bad limit"})
-			return
+		limit, err = strconv.Atoi(v)
+		if err != nil || limit < 0 {
+			return 0, 0, errors.New("bad limit")
 		}
-		limit = n
 	}
-	ds := s.Decisions(since, limit)
-	next := since
-	if len(ds) > 0 {
-		next = ds[len(ds)-1].Seq
-	}
-	writeJSON(w, http.StatusOK, decisionsResponse{Decisions: ds, Next: next})
+	return since, limit, nil
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		writeJSON(w, http.StatusMethodNotAllowed, submitResponse{Error: "GET only"})
-		return
+// JobsHandler builds the POST /v1/jobs handler over any submit function —
+// one ingest skeleton (method check, 16 MiB body cap, single-or-array
+// decode, per-job loop with partial-accept reply, typed status mapping)
+// shared by the single server and the fleet gateway's routed submit.
+func JobsHandler(submit func(JobSpec) (int, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			WriteJSON(w, http.StatusMethodNotAllowed, SubmitResponse{Error: "POST only"})
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 16<<20))
+		if err != nil {
+			WriteJSON(w, http.StatusBadRequest, SubmitResponse{Error: fmt.Sprintf("reading body: %v", err)})
+			return
+		}
+		specs, err := DecodeJobSpecs(body)
+		if err != nil {
+			WriteJSON(w, http.StatusBadRequest, SubmitResponse{Error: err.Error()})
+			return
+		}
+		ids := make([]int, 0, len(specs))
+		for _, spec := range specs {
+			id, err := submit(spec)
+			if err != nil {
+				WriteJSON(w, SubmitErrorStatus(err), SubmitResponse{Accepted: ids, Error: err.Error()})
+				return
+			}
+			ids = append(ids, id)
+		}
+		WriteJSON(w, http.StatusAccepted, SubmitResponse{Accepted: ids})
 	}
-	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// SubmitErrorStatus maps a Submit rejection to its HTTP status. The typed
+// ingest errors get distinct codes — 429 backpressure, 503 stopped, 409
+// duplicate id, 404 unroutable home region — and anything else (bad
+// benchmark, out-of-horizon instant, malformed spec) is the client's 400.
+// Shared by this server's own handler and the fleet gateway.
+func SubmitErrorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrStopped):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrDuplicateID):
+		return http.StatusConflict
+	case errors.Is(err, ErrUnknownRegion):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// DecisionsHandler builds the GET /v1/decisions handler over a log
+// fetcher returning the page and the next cursor — shared by the single
+// server's ring and the gateway's merged stream.
+func DecisionsHandler(fetch func(since uint64, limit int) (decisions interface{}, next uint64)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			WriteJSON(w, http.StatusMethodNotAllowed, SubmitResponse{Error: "GET only"})
+			return
+		}
+		since, limit, err := ParseDecisionsQuery(r.URL.Query())
+		if err != nil {
+			WriteJSON(w, http.StatusBadRequest, SubmitResponse{Error: err.Error()})
+			return
+		}
+		ds, next := fetch(since, limit)
+		WriteJSON(w, http.StatusOK, DecisionsResponse{Decisions: ds, Next: next})
+	}
+}
+
+// StatusHandler builds the GET /v1/status handler over a snapshot
+// function.
+func StatusHandler(status func() interface{}) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			WriteJSON(w, http.StatusMethodNotAllowed, SubmitResponse{Error: "GET only"})
+			return
+		}
+		WriteJSON(w, http.StatusOK, status())
+	}
 }

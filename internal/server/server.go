@@ -41,6 +41,12 @@ import (
 type Config struct {
 	// Env is the environment (regions, grids, weather) decisions read.
 	Env *region.Environment
+	// Regions restricts the server to a subset of Env's regions — the
+	// shard form the fleet gateway (internal/fleet) runs N of: the server
+	// schedules only over the subset (via an Environment.Partition view
+	// sharing Env's series) and rejects submissions homed elsewhere with
+	// ErrUnknownRegion. Empty means all of Env's regions.
+	Regions []region.ID
 	// Net is the inter-region transfer model (default transfer.New()).
 	Net *transfer.Model
 	// FP is the footprint model (default: unperturbed).
@@ -67,6 +73,13 @@ type Config struct {
 func (c Config) withDefaults() (Config, error) {
 	if c.Env == nil {
 		return c, errors.New("server: nil environment")
+	}
+	if len(c.Regions) > 0 {
+		view, err := c.Env.Partition(c.Regions...)
+		if err != nil {
+			return c, fmt.Errorf("server: %w", err)
+		}
+		c.Env = view
 	}
 	if c.Scheduler == nil {
 		return c, errors.New("server: nil scheduler")
@@ -98,12 +111,27 @@ func secondsToDuration(s float64) time.Duration {
 	return time.Duration(math.Round(s * float64(time.Second)))
 }
 
-// ErrQueueFull is returned by Submit when the ingest queue is at QueueCap —
-// the service's backpressure signal.
-var ErrQueueFull = errors.New("server: ingest queue full")
-
-// ErrStopped is returned by Submit after Stop.
-var ErrStopped = errors.New("server: stopped")
+// Typed ingest rejections. Submit wraps each with the offending detail
+// (region name, job id, instant), so callers — the HTTP layer here and the
+// fleet gateway routing across shards — branch with errors.Is and map each
+// cause to a distinct HTTP status instead of matching message strings.
+var (
+	// ErrQueueFull is returned by Submit when the ingest queue is at
+	// QueueCap — the service's backpressure signal.
+	ErrQueueFull = errors.New("server: ingest queue full")
+	// ErrStopped is returned by Submit after Stop.
+	ErrStopped = errors.New("server: stopped")
+	// ErrUnknownRegion rejects a home region this server does not serve —
+	// absent from the environment, or outside this shard's partition.
+	ErrUnknownRegion = errors.New("server: unknown home region")
+	// ErrUnknownBenchmark rejects a benchmark with no workload profile.
+	ErrUnknownBenchmark = errors.New("server: unknown benchmark")
+	// ErrDuplicateID rejects a client-assigned id that is already queued.
+	ErrDuplicateID = errors.New("server: duplicate job id")
+	// ErrOutsideHorizon rejects a submit instant outside the environment's
+	// generated series.
+	ErrOutsideHorizon = errors.New("server: submit outside environment horizon")
+)
 
 // JobSpec is one job submission. Zero estimate fields default to the
 // benchmark profile's means (what the controller would know from history);
@@ -149,18 +177,21 @@ type Decision struct {
 
 // Status is a point-in-time service snapshot.
 type Status struct {
-	Scheduler   string    `json:"scheduler"`
-	SimNow      time.Time `json:"sim_now"`
-	Round       string    `json:"round"`
-	TimeScale   float64   `json:"time_scale"`
-	Pending     int       `json:"pending"`
-	Future      int       `json:"future"`
-	QueueCap    int       `json:"queue_cap"`
-	Accepted    uint64    `json:"accepted"`
-	Rejected    uint64    `json:"rejected"`
-	Rounds      uint64    `json:"rounds"`
-	Decisions   uint64    `json:"decisions"`
-	Unscheduled int       `json:"unscheduled"`
+	Scheduler string    `json:"scheduler"`
+	SimNow    time.Time `json:"sim_now"`
+	Round     string    `json:"round"`
+	TimeScale float64   `json:"time_scale"`
+	Pending   int       `json:"pending"`
+	Future    int       `json:"future"`
+	QueueCap  int       `json:"queue_cap"`
+	Accepted  uint64    `json:"accepted"`
+	Rejected  uint64    `json:"rejected"`
+	Rounds    uint64    `json:"rounds"`
+	Decisions uint64    `json:"decisions"`
+	// LastSeq is the newest decision-log sequence number (the cursor a
+	// fresh poller should resume behind).
+	LastSeq     uint64 `json:"last_seq"`
+	Unscheduled int    `json:"unscheduled"`
 	// Free is the per-region free server count at SimNow.
 	Free map[region.ID]int `json:"free"`
 	// RoundOverheadMeanMs is the mean scheduler invocation cost (Fig. 13's
@@ -295,7 +326,7 @@ func (s *Server) Submit(spec JobSpec) (int, error) {
 	if spec.ID != nil {
 		if _, dup := s.live[job.ID]; dup {
 			s.rejected++
-			return 0, fmt.Errorf("server: job id %d already queued", job.ID)
+			return 0, fmt.Errorf("%w: %d", ErrDuplicateID, job.ID)
 		}
 	} else {
 		job.ID = s.autoID
@@ -311,8 +342,8 @@ func (s *Server) Submit(spec JobSpec) (int, error) {
 	}
 	if job.Submit.Before(s.cfg.Env.Start) || !job.Submit.Before(s.cfg.Env.End()) {
 		s.rejected++
-		return 0, fmt.Errorf("server: job submit %v outside environment horizon [%v, %v)",
-			job.Submit, s.cfg.Env.Start, s.cfg.Env.End())
+		return 0, fmt.Errorf("%w: %v not in [%v, %v)",
+			ErrOutsideHorizon, job.Submit, s.cfg.Env.Start, s.cfg.Env.End())
 	}
 	s.live[job.ID] = struct{}{}
 	heap.Push(&s.future, job)
@@ -326,10 +357,10 @@ func (s *Server) Submit(spec JobSpec) (int, error) {
 func (s *Server) buildJob(spec JobSpec) (*trace.Job, error) {
 	prof, err := workload.Lookup(spec.Benchmark)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %q", ErrUnknownBenchmark, spec.Benchmark)
 	}
 	if s.cfg.Env.Region(spec.Home) == nil {
-		return nil, fmt.Errorf("server: unknown home region %q", spec.Home)
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRegion, spec.Home)
 	}
 	estDur := secondsToDuration(spec.EstDurationSec)
 	if estDur <= 0 {
@@ -450,15 +481,58 @@ func (s *Server) Err() error {
 	return s.runErr
 }
 
+// Cursor is an atomic snapshot of the decision log's progress, taken
+// together with a Decisions page so a merging consumer — the fleet
+// gateway interleaving several shards' logs — can reason about what it
+// has and has not seen.
+type Cursor struct {
+	// Seq is the latest sequence number assigned (0 before any decision).
+	Seq uint64 `json:"seq"`
+	// Oldest is the sequence number of the oldest entry still in the ring
+	// (0 while the log is empty). A reader whose cursor has fallen below
+	// Oldest-1 has lost decisions to ring eviction.
+	Oldest uint64 `json:"oldest"`
+	// Frontier is the round clock: every decision of rounds at or before
+	// Frontier is already in the log, and later reads only ever append
+	// decisions of strictly later rounds. Before the server's first round
+	// it lies strictly before every possible decision round.
+	Frontier time.Time `json:"frontier"`
+	// Idle reports a fully drained server: nothing queued, nothing
+	// pending, so no decision exists beyond Seq until new work arrives.
+	Idle bool `json:"idle"`
+}
+
 // Decisions returns up to limit logged decisions with Seq > since, oldest
 // first (limit <= 0 means all). The log is a bounded ring: decisions older
 // than the last DecisionLogCap may be gone.
 func (s *Server) Decisions(since uint64, limit int) []Decision {
+	ds, _ := s.DecisionsPage(since, limit)
+	return ds
+}
+
+// DecisionsPage is Decisions plus the log cursor, snapshotted atomically —
+// the export the fleet's k-way merge is built on.
+func (s *Server) DecisionsPage(since uint64, limit int) ([]Decision, Cursor) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	cur := Cursor{
+		Seq:      s.decSeq,
+		Frontier: s.simNow,
+		Idle:     len(s.future) == 0 && s.sim.Pending() == 0,
+	}
+	if s.nextK == 0 {
+		// No round has run yet, so round 0 — whose time IS simNow — may
+		// still produce decisions: the frontier lies strictly before it.
+		// (After any round, nextK > 0 and every future decision's Round
+		// exceeds simNow, so the plain round clock is the frontier.)
+		cur.Frontier = s.simNow.Add(-time.Nanosecond)
+	}
 	n := len(s.decisions)
+	if n > 0 {
+		cur.Oldest = s.decisions[s.decHead].Seq
+	}
 	if n == 0 {
-		return []Decision{} // non-nil: the HTTP layer marshals it as []
+		return []Decision{}, cur // non-nil: the HTTP layer marshals it as []
 	}
 	// Ring entries are Seq-ordered from decHead, so binary search the first
 	// entry past the cursor instead of scanning the whole log — decision
@@ -481,8 +555,12 @@ func (s *Server) Decisions(since uint64, limit int) []Decision {
 	for i := range out {
 		out[i] = s.decisions[(s.decHead+lo+i)%n]
 	}
-	return out
+	return out, cur
 }
+
+// Regions returns the region IDs this server schedules over — the full
+// environment's, or the Config.Regions partition when sharded.
+func (s *Server) Regions() []region.ID { return s.cfg.Env.IDs() }
 
 // Status returns a point-in-time service snapshot.
 func (s *Server) Status() Status {
@@ -500,6 +578,7 @@ func (s *Server) Status() Status {
 		Rejected:  s.rejected,
 		Rounds:    s.rounds,
 		Decisions: s.decided,
+		LastSeq:   s.decSeq,
 		Free:      s.sim.Free(s.simNow),
 	}
 	st.Unscheduled = s.unscheduled

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -60,6 +61,13 @@ func genTrace(t *testing.T, env *region.Environment, jobsPerDay float64, hours i
 		t.Fatal(err)
 	}
 	return jobs
+}
+
+// decisionsPage decodes the GET /v1/decisions reply with typed entries
+// (the wire shape is server.DecisionsResponse).
+type decisionsPage struct {
+	Decisions []Decision `json:"decisions"`
+	Next      uint64     `json:"next"`
 }
 
 func specFor(j *trace.Job) JobSpec {
@@ -119,7 +127,7 @@ func TestAcceleratedReplayMatchesOfflineRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var sr submitResponse
+		var sr SubmitResponse
 		if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 			t.Fatal(err)
 		}
@@ -226,7 +234,7 @@ func TestBackpressure(t *testing.T) {
 			t.Fatal(err)
 		}
 		defer resp.Body.Close()
-		var sr submitResponse
+		var sr SubmitResponse
 		_ = json.NewDecoder(resp.Body).Decode(&sr)
 		return resp.StatusCode
 	}
@@ -251,18 +259,21 @@ func TestSubmitValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Every rejection path returns its typed cause, so gateways map them
+	// to distinct HTTP statuses with errors.Is instead of string matching.
 	cases := []struct {
 		name string
 		spec JobSpec
+		want error
 	}{
-		{"unknown benchmark", JobSpec{Benchmark: "nope", Home: region.Zurich, Submit: testStart}},
-		{"unknown region", JobSpec{Benchmark: "canneal", Home: "atlantis", Submit: testStart}},
-		{"before horizon", JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(-time.Hour)}},
-		{"after horizon", JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(100 * 24 * time.Hour)}},
+		{"unknown benchmark", JobSpec{Benchmark: "nope", Home: region.Zurich, Submit: testStart}, ErrUnknownBenchmark},
+		{"unknown region", JobSpec{Benchmark: "canneal", Home: "atlantis", Submit: testStart}, ErrUnknownRegion},
+		{"before horizon", JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(-time.Hour)}, ErrOutsideHorizon},
+		{"after horizon", JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(100 * 24 * time.Hour)}, ErrOutsideHorizon},
 	}
 	for _, c := range cases {
-		if _, err := srv.Submit(c.spec); err == nil {
-			t.Errorf("%s: accepted, want error", c.name)
+		if _, err := srv.Submit(c.spec); !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
 		}
 	}
 	// Duplicate id.
@@ -270,8 +281,108 @@ func TestSubmitValidation(t *testing.T) {
 	if _, err := srv.Submit(JobSpec{ID: &id, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Submit(JobSpec{ID: &id, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); err == nil {
-		t.Error("duplicate id accepted")
+	if _, err := srv.Submit(JobSpec{ID: &id, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("duplicate id: got %v, want ErrDuplicateID", err)
+	}
+	srv.Stop()
+	if _, err := srv.Submit(JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); !errors.Is(err, ErrStopped) {
+		t.Errorf("submit after stop: got %v, want ErrStopped", err)
+	}
+}
+
+// TestRegionPartitionShard covers the shard form of the server: with
+// Config.Regions set, it schedules only over the partition and rejects
+// submissions homed outside it with ErrUnknownRegion.
+func TestRegionPartitionShard(t *testing.T) {
+	env := testEnv(t)
+	srv, err := New(Config{
+		Env: env, Regions: []region.ID{region.Zurich, region.Milan},
+		Scheduler: newScheduler(t, false), Tolerance: 0.5, Round: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	if got := srv.Regions(); len(got) != 2 || got[0] != region.Zurich || got[1] != region.Milan {
+		t.Fatalf("shard regions = %v", got)
+	}
+	if _, err := srv.Submit(JobSpec{Benchmark: "canneal", Home: region.Mumbai, Submit: testStart}); !errors.Is(err, ErrUnknownRegion) {
+		t.Errorf("out-of-partition home: got %v, want ErrUnknownRegion", err)
+	}
+	if _, err := srv.Submit(JobSpec{Benchmark: "canneal", Home: region.Milan, Submit: testStart}); err != nil {
+		t.Fatalf("in-partition home rejected: %v", err)
+	}
+	srv.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range srv.Decisions(0, 0) {
+		if d.Region != region.Zurich && d.Region != region.Milan {
+			t.Fatalf("shard placed a job in %s, outside its partition", d.Region)
+		}
+	}
+	st := srv.Status()
+	if len(st.Free) != 2 {
+		t.Fatalf("shard status reports %d regions free, want 2", len(st.Free))
+	}
+	if _, err := New(Config{Env: env, Regions: []region.ID{"atlantis"}, Scheduler: newScheduler(t, false)}); err == nil {
+		t.Error("unknown partition region accepted")
+	}
+}
+
+// TestDecisionsPageCursor pins the cursor export the fleet merge builds
+// on: Seq/Oldest track the ring, Frontier the round clock, Idle the
+// drained state.
+func TestDecisionsPageCursor(t *testing.T) {
+	env := testEnv(t)
+	srv, err := New(Config{
+		Env: env, Scheduler: newScheduler(t, false), Tolerance: 0.5,
+		Round: time.Minute, DecisionLogCap: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	if _, cur := srv.DecisionsPage(0, 0); cur.Seq != 0 || cur.Oldest != 0 || !cur.Idle {
+		t.Fatalf("empty-server cursor %+v", cur)
+	}
+	for i := 0; i < 6; i++ {
+		spec := JobSpec{Benchmark: "canneal", Home: region.Oregon, Submit: testStart.Add(time.Duration(i) * time.Second)}
+		if _, err := srv.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, cur := srv.DecisionsPage(0, 0); cur.Idle || !cur.Frontier.Before(testStart) {
+		// Round 0 has not run, so its decisions (Round == Env.Start) are
+		// not final yet: the frontier must lie strictly before them, or a
+		// fleet merge emits another shard's round-0 decisions too early.
+		t.Fatalf("pre-first-round cursor %+v", cur)
+	}
+	srv.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ds, cur := srv.DecisionsPage(0, 0)
+	if cur.Seq != 6 || !cur.Idle {
+		t.Fatalf("drained cursor %+v", cur)
+	}
+	// Ring cap 4: seqs 1-2 evicted, Oldest reflects it, and the page
+	// starts past the loss — what the fleet merge counts as Lost.
+	if cur.Oldest != 3 {
+		t.Fatalf("oldest %d, want 3 after eviction", cur.Oldest)
+	}
+	if len(ds) != 4 || ds[0].Seq != 3 {
+		t.Fatalf("page %d decisions starting at %d", len(ds), ds[0].Seq)
+	}
+	if cur.Frontier.Before(ds[len(ds)-1].Round) {
+		t.Fatalf("frontier %v behind last logged round %v", cur.Frontier, ds[len(ds)-1].Round)
+	}
+	if st := srv.Status(); st.LastSeq != 6 {
+		t.Fatalf("status last_seq %d, want 6", st.LastSeq)
 	}
 }
 
@@ -297,7 +408,7 @@ func TestDecisionsPagingAndStatusAndMetrics(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var page decisionsResponse
+	var page decisionsPage
 	resp, err := http.Get(ts.URL + PathDecisions + "?limit=4")
 	if err != nil {
 		t.Fatal(err)
@@ -315,7 +426,7 @@ func TestDecisionsPagingAndStatusAndMetrics(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		var next decisionsResponse
+		var next decisionsPage
 		if err := json.NewDecoder(resp.Body).Decode(&next); err != nil {
 			t.Fatal(err)
 		}

@@ -24,6 +24,7 @@ import (
 	"waterwise/internal/cluster"
 	"waterwise/internal/core"
 	"waterwise/internal/energy"
+	"waterwise/internal/fleet"
 	"waterwise/internal/footprint"
 	"waterwise/internal/metrics"
 	"waterwise/internal/region"
@@ -338,6 +339,12 @@ var ErrQueueFull = server.ErrQueueFull
 // the service defaults: a 1-minute round cadence, accelerated time, 65536
 // queue and decision-log capacities.
 type ServerConfig struct {
+	// Regions restricts the server to a partition of the environment's
+	// regions — the standalone-shard form (waterwised -partition): the
+	// server schedules only over the subset, reading the same generated
+	// series the full environment holds, and rejects submissions homed
+	// elsewhere. Empty serves every region.
+	Regions []RegionID
 	// Tolerance is the delay tolerance TOL as a fraction (e.g. 0.5).
 	Tolerance float64
 	// Round is the micro-batching cadence in simulated time.
@@ -360,7 +367,69 @@ func NewServer(env *Environment, s Scheduler, cfg ServerConfig) (*Server, error)
 		return nil, fmt.Errorf("waterwise: nil environment")
 	}
 	return server.New(server.Config{
-		Env: env.env, Net: env.net, FP: env.fp, Scheduler: s,
+		Env: env.env, Regions: cfg.Regions, Net: env.net, FP: env.fp, Scheduler: s,
+		Tolerance: cfg.Tolerance, Round: cfg.Round, TimeScale: cfg.TimeScale,
+		QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
+	})
+}
+
+// Fleet is the region-sharded serving fleet: N scheduler shards, each a
+// full online service over a disjoint partition of the environment's
+// regions, behind one gateway that routes submissions by home region,
+// merges the shards' decision logs into one globally seq-numbered stream,
+// and aggregates status and metrics per shard. Within each partition the
+// fleet is decision-for-decision identical to a dedicated single server;
+// a 1-shard fleet is exactly Server. See internal/fleet.
+type Fleet = fleet.Fleet
+
+// Fleet-facing types of the sharded service.
+type (
+	// FleetDecision is one merged decision: the shard's placement
+	// re-stamped with the global sequence number.
+	FleetDecision = fleet.Decision
+	// FleetStatus aggregates the fleet plus every shard's snapshot.
+	FleetStatus = fleet.Status
+	// FleetShardStatus is one shard's snapshot within FleetStatus.
+	FleetShardStatus = fleet.ShardStatus
+)
+
+// FleetConfig configures the sharded serving fleet. Zero values take the
+// service defaults (1 shard, 1-minute rounds, accelerated time, 65536
+// queue and log capacities).
+type FleetConfig struct {
+	// Shards is the scheduler shard count (at most the region count).
+	Shards int
+	// ShardMap pins regions to shards (region → shard index); unpinned
+	// regions are dealt to the emptiest shard in environment order.
+	ShardMap map[RegionID]int
+	// Scheduler configures every shard's WaterWise scheduler (each shard
+	// gets its own instance).
+	Scheduler SchedulerConfig
+	// Tolerance is the delay tolerance TOL as a fraction (e.g. 0.5).
+	Tolerance float64
+	// Round is the micro-batching cadence in simulated time, shared by all
+	// shards so their round clocks stay aligned.
+	Round time.Duration
+	// TimeScale maps wall time to simulated time (0 = accelerated).
+	TimeScale float64
+	// QueueCap bounds each shard's ingest queue.
+	QueueCap int
+	// DecisionLogCap bounds the merged decision ring and each shard's own.
+	DecisionLogCap int
+}
+
+// NewFleet builds the sharded serving fleet over an environment. Call
+// Start to begin every shard's rounds, Handler for the gateway HTTP API.
+func NewFleet(env *Environment, cfg FleetConfig) (*Fleet, error) {
+	if env == nil {
+		return nil, fmt.Errorf("waterwise: nil environment")
+	}
+	return fleet.New(fleet.Config{
+		Env: env.env, Net: env.net, FP: env.fp,
+		NewScheduler: func(int, []RegionID) (Scheduler, error) {
+			return NewScheduler(cfg.Scheduler)
+		},
+		Shards: cfg.Shards, ShardMap: cfg.ShardMap,
 		Tolerance: cfg.Tolerance, Round: cfg.Round, TimeScale: cfg.TimeScale,
 		QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
 	})

@@ -193,6 +193,69 @@ func TestOnlineServiceEndToEnd(t *testing.T) {
 	}
 }
 
+// TestFleetEndToEnd exercises the sharded serving surface: build a fleet
+// over the default environment, stream a trace through it by home region,
+// drain, and check the merged decisions, aggregate status, and result.
+func TestFleetEndToEnd(t *testing.T) {
+	env, err := NewEnvironment(EnvironmentConfig{Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := NewFleet(env, FleetConfig{
+		Shards: 2, Tolerance: 0.5, Round: time.Minute,
+		Scheduler: SchedulerConfig{CrossRoundWarmStart: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Stop()
+
+	jobs, err := env.GenerateBorgTrace(TraceConfig{Days: 1, JobsPerDay: 800, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		id := j.ID
+		if _, err := fl.Submit(JobSpec{
+			ID: &id, Benchmark: j.Benchmark, Home: j.Home, Submit: j.Submit,
+			DurationSec:    j.Duration.Seconds(),
+			EnergyKWh:      float64(j.Energy),
+			EstDurationSec: j.EstDuration.Seconds(),
+			EstEnergyKWh:   float64(j.EstEnergy),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := fl.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	st := fl.Status()
+	if st.Shards != 2 || st.Decisions != uint64(len(jobs)) || st.Lost != 0 {
+		t.Fatalf("fleet status: %+v", st)
+	}
+	ds := fl.Decisions(0, 0)
+	if len(ds) != len(jobs) {
+		t.Fatalf("merged log has %d entries, want %d", len(ds), len(jobs))
+	}
+	for i, d := range ds {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("merged stream has a gap at %d", i)
+		}
+	}
+	res, err := fl.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outcomes) != len(jobs) || res.TotalCarbon() <= 0 || res.TotalWater() <= 0 {
+		t.Fatalf("fleet result: %d outcomes, carbon %v, water %v",
+			len(res.Outcomes), res.TotalCarbon(), res.TotalWater())
+	}
+}
+
 func TestAllComparatorsRun(t *testing.T) {
 	env, err := NewEnvironment(EnvironmentConfig{Seed: 8})
 	if err != nil {

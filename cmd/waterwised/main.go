@@ -15,6 +15,13 @@
 // restricted to the named regions — so separate waterwised processes can
 // each take a partition and be fronted by an external router.
 //
+// The environment's grid/weather signals come from a pluggable feed
+// (-feed): the deterministic synthetic generators (default), a recorded
+// trace file ("replay:<file>", captured with -record), or an
+// electricityMaps-style HTTP API ("live:<url>", token from
+// WATERWISE_FEED_TOKEN) with TTL caching and stale/forecast fallback.
+// Feed health is surfaced in /v1/status and /metrics.
+//
 // Usage:
 //
 //	waterwised [flags]
@@ -32,7 +39,12 @@
 //	               (unpinned regions dealt to emptiest shard)
 //	-partition     standalone-shard mode: serve only these
 //	               regions of the full environment
-//	-horizon-hours environment series horizon                (default 96)
+//	-feed          environment feed: "synthetic",
+//	               "replay:<file>", or "live:<url>"          (default synthetic)
+//	-record        write the feed to a trace file and exit
+//	               (.json or .csv; replay it with -feed)
+//	-horizon-hours environment series horizon; 0 = auto
+//	               (96, or a replay trace's recorded span)   (default 0)
 //	-queue-cap     ingest queue bound (backpressure)         (default 65536)
 //	-decision-log  decision log ring capacity                (default 65536)
 //	-workers       solver worker count                       (default 1)
@@ -74,6 +86,33 @@ func splitRegions(csv string) []waterwise.RegionID {
 	return out
 }
 
+// applyFeedFlag parses the -feed spec ("synthetic", "replay:<file>",
+// "live:<url>") into the environment config.
+func applyFeedFlag(cfg *waterwise.EnvironmentConfig, spec string) error {
+	src, arg, _ := strings.Cut(spec, ":")
+	switch src {
+	case "", string(waterwise.FeedSynthetic):
+		if arg != "" {
+			return fmt.Errorf("-feed synthetic takes no argument (got %q)", arg)
+		}
+	case string(waterwise.FeedReplay):
+		if arg == "" {
+			return fmt.Errorf("-feed replay needs a trace file: replay:<file>")
+		}
+		cfg.Source = waterwise.FeedReplay
+		cfg.FeedPath = arg
+	case string(waterwise.FeedLive):
+		if arg == "" {
+			return fmt.Errorf("-feed live needs a base URL: live:<url>")
+		}
+		cfg.Source = waterwise.FeedLive
+		cfg.FeedURL = arg
+	default:
+		return fmt.Errorf("unknown -feed source %q (want synthetic, replay:<file>, or live:<url>)", src)
+	}
+	return nil
+}
+
 // parseShardMap parses "region=shard" pins.
 func parseShardMap(csv string) (map[waterwise.RegionID]int, error) {
 	if csv == "" {
@@ -105,7 +144,9 @@ func run() error {
 		shards      = flag.Int("shards", 1, "scheduler shard count; >1 serves the sharded fleet")
 		shardMapCSV = flag.String("shard-map", "", "region=shard pins, e.g. zurich=0,mumbai=1")
 		partCSV     = flag.String("partition", "", "standalone-shard mode: serve only these regions of the full environment")
-		horizon     = flag.Int("horizon-hours", 96, "environment series horizon in hours")
+		feedSpec    = flag.String("feed", "synthetic", `environment feed: "synthetic", "replay:<file>", or "live:<url>"`)
+		record      = flag.String("record", "", "write the environment feed to this trace file (.json or .csv) and exit")
+		horizon     = flag.Int("horizon-hours", 0, "environment series horizon in hours (0 = auto: 96, or a replay trace's recorded span)")
 		queueCap    = flag.Int("queue-cap", 0, "ingest queue bound (0 = default 65536)")
 		decisionLog = flag.Int("decision-log", 0, "decision log ring capacity (0 = default 65536)")
 		workers     = flag.Int("workers", 1, "branch-and-bound worker count")
@@ -115,14 +156,27 @@ func run() error {
 	)
 	flag.Parse()
 
-	env, err := waterwise.NewEnvironment(waterwise.EnvironmentConfig{
+	envCfg := waterwise.EnvironmentConfig{
 		Regions:         splitRegions(*regionsCSV),
 		HorizonHours:    *horizon,
 		UseWRIWaterData: *wri,
 		Seed:            *seed,
-	})
+	}
+	if err := applyFeedFlag(&envCfg, *feedSpec); err != nil {
+		return err
+	}
+	env, err := waterwise.NewEnvironment(envCfg)
 	if err != nil {
 		return err
+	}
+	if *record != "" {
+		if err := env.RecordFeed(*record); err != nil {
+			return err
+		}
+		fmt.Printf("waterwised: recorded %s feed (%d regions, %d hours) to %s\n",
+			env.FeedHealth().Provider, len(env.Regions()), env.HorizonHours(), *record)
+		fmt.Printf("waterwised: replay it with -feed replay:%s\n", *record)
+		return nil
 	}
 	schedCfg := waterwise.SchedulerConfig{
 		LambdaCarbon:        *lambdaC,

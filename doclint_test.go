@@ -1,0 +1,99 @@
+package waterwise
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"strings"
+	"testing"
+)
+
+// TestExportedAPIDocumented is the doc-comment lint backing the feed
+// PR's documentation guarantee: every exported top-level declaration in
+// the public facade and the environment-feed packages must carry a doc
+// comment (the godoc pass promised that each states its determinism and
+// concurrency behavior — this lint at least keeps the comments from
+// silently disappearing). Grouped const/var/type declarations may carry
+// one doc comment for the group.
+func TestExportedAPIDocumented(t *testing.T) {
+	for _, dir := range []string{".", "internal/feed", "internal/region"} {
+		fset := token.NewFileSet()
+		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, pkg := range pkgs {
+			for _, file := range pkg.Files {
+				for _, decl := range file.Decls {
+					for _, miss := range undocumented(decl) {
+						pos := fset.Position(miss.pos)
+						t.Errorf("%s:%d: exported %s %s has no doc comment", pos.Filename, pos.Line, miss.kind, miss.name)
+					}
+				}
+			}
+		}
+	}
+}
+
+type missingDoc struct {
+	kind, name string
+	pos        token.Pos
+}
+
+// undocumented reports the exported names a top-level declaration leaves
+// without documentation.
+func undocumented(decl ast.Decl) []missingDoc {
+	var out []missingDoc
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if d.Name.IsExported() && d.Doc == nil {
+			kind := "func"
+			if d.Recv != nil {
+				kind = fmt.Sprintf("method (%s)", types(d.Recv))
+			}
+			out = append(out, missingDoc{kind, d.Name.Name, d.Pos()})
+		}
+	case *ast.GenDecl:
+		if d.Doc != nil {
+			return nil // a group doc covers every spec
+		}
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+					out = append(out, missingDoc{"type", s.Name.Name, s.Pos()})
+				}
+			case *ast.ValueSpec:
+				if s.Doc != nil || s.Comment != nil {
+					continue
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, missingDoc{"value", name.Name, s.Pos()})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// types renders a receiver list compactly for the error message.
+func types(fl *ast.FieldList) string {
+	if fl == nil || len(fl.List) == 0 {
+		return ""
+	}
+	switch t := fl.List[0].Type.(type) {
+	case *ast.StarExpr:
+		if id, ok := t.X.(*ast.Ident); ok {
+			return "*" + id.Name
+		}
+	case *ast.Ident:
+		return t.Name
+	}
+	return "receiver"
+}

@@ -1,0 +1,324 @@
+package feed
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"waterwise/internal/energy"
+)
+
+// feedServer is a scriptable electricityMaps-style upstream: mode selects
+// the failure to inject, requests counts every hit.
+type feedServer struct {
+	mu       sync.Mutex
+	mode     string // "", "hang", "429", "garbage", "negative", "zerototal", "badwetbulb", "error"
+	requests int
+	wetBulb  float64
+}
+
+func (fs *feedServer) setMode(m string) {
+	fs.mu.Lock()
+	fs.mode = m
+	fs.mu.Unlock()
+}
+
+func (fs *feedServer) count() int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.requests
+}
+
+func (fs *feedServer) handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		fs.mu.Lock()
+		fs.requests++
+		mode := fs.mode
+		wet := fs.wetBulb
+		fs.mu.Unlock()
+		key := r.URL.Path[len("/v1/environment/"):]
+		switch mode {
+		case "hang":
+			time.Sleep(2 * time.Second)
+			fallthrough
+		case "":
+			payload := map[string]interface{}{
+				"zone":           key,
+				"datetime":       time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC).Format(time.RFC3339),
+				"powerBreakdown": map[string]float64{"gas": 300, "coal": 500, "solar": 200},
+				"wetBulbC":       wet,
+				"pue":            1.25,
+				"wsf":            0.4,
+			}
+			_ = json.NewEncoder(w).Encode(payload)
+		case "429":
+			w.Header().Set("Retry-After", "120")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case "garbage":
+			fmt.Fprint(w, "{definitely not json")
+		case "negative":
+			fmt.Fprintf(w, `{"zone":%q,"powerBreakdown":{"gas":-5,"coal":6},"wetBulbC":10}`, key)
+		case "zerototal":
+			fmt.Fprintf(w, `{"zone":%q,"powerBreakdown":{},"wetBulbC":10}`, key)
+		case "badwetbulb":
+			fmt.Fprintf(w, `{"zone":%q,"powerBreakdown":{"gas":1},"wetBulbC":200}`, key)
+		case "error":
+			http.Error(w, "boom", http.StatusInternalServerError)
+		}
+	}
+}
+
+// fakeClock is a thread-safe manual clock injected as Live.now.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestLive builds a Live over the scripted upstream with a fake clock
+// installed (safe: NewLive's prime is synchronous, so no goroutine has
+// captured the real clock yet).
+func newTestLive(t *testing.T, fs *feedServer, cfg LiveConfig) (*Live, *fakeClock, *httptest.Server) {
+	t.Helper()
+	ts := httptest.NewServer(fs.handler())
+	t.Cleanup(ts.Close)
+	cfg.BaseURL = ts.URL
+	if len(cfg.Regions) == 0 {
+		cfg.Regions = []string{"oregon"}
+	}
+	l, err := NewLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &fakeClock{t: time.Date(2026, 7, 28, 12, 0, 0, 0, time.UTC)}
+	l.now = clk.now
+	// Re-anchor the prime instants onto the fake clock so TTL arithmetic
+	// is fully deterministic.
+	l.mu.Lock()
+	for _, r := range l.regions {
+		r.goodAt = clk.t
+		r.notBefore = clk.t
+	}
+	l.mu.Unlock()
+	return l, clk, ts
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestLiveServesAndCaches(t *testing.T) {
+	fs := &feedServer{wetBulb: 18.5}
+	l, _, _ := newTestLive(t, fs, LiveConfig{TTL: time.Hour, Token: "sesame"})
+	for i := 0; i < 3; i++ {
+		s, err := l.At("oregon", time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(s.Mix[energy.Gas]-0.3) > 1e-12 || math.Abs(s.Mix[energy.Coal]-0.5) > 1e-12 ||
+			math.Abs(s.Mix[energy.Solar]-0.2) > 1e-12 {
+			t.Fatalf("normalized mix = %v", s.Mix)
+		}
+		if float64(s.WetBulb) != 18.5 || s.PUE != 1.25 || s.WSF != 0.4 {
+			t.Fatalf("sample = %+v", s)
+		}
+	}
+	h := l.Health()
+	if h.Provider != "live" || h.Regions != 1 || h.Stale || h.Fetches != 1 || h.CacheHits != 3 {
+		t.Errorf("health = %+v", h)
+	}
+	if _, err := l.At("atlantis", time.Now()); err == nil {
+		t.Error("unknown region answered")
+	}
+	if l.ForecastHorizon() != DefaultLiveForecastHorizon {
+		t.Errorf("forecast horizon = %v", l.ForecastHorizon())
+	}
+}
+
+// TestLiveTimeoutServesStale is the "never stalls a round" guarantee
+// against a hanging upstream: an At call past the TTL must return the
+// stale reading immediately while the refresh times out in the
+// background and is counted as a fetch error.
+func TestLiveTimeoutServesStale(t *testing.T) {
+	fs := &feedServer{wetBulb: 18.5}
+	l, clk, _ := newTestLive(t, fs, LiveConfig{TTL: time.Minute, Timeout: 50 * time.Millisecond})
+	fs.setMode("hang")
+	clk.advance(2 * time.Minute)
+	t0 := time.Now()
+	s, err := l.At("oregon", time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed > 500*time.Millisecond {
+		t.Fatalf("At blocked %v on a hanging upstream", elapsed)
+	}
+	if float64(s.WetBulb) != 18.5 {
+		t.Fatalf("stale sample = %+v", s)
+	}
+	waitFor(t, "timeout fetch error", func() bool { return l.Health().FetchErrors >= 1 })
+	h := l.Health()
+	if !h.Stale || h.StalenessSeconds < 100 || h.LastError == "" {
+		t.Errorf("health after timeout = %+v", h)
+	}
+}
+
+// TestLive429Backoff: a 429 with Retry-After must push the next fetch out
+// at least that far — repeated At calls inside the window trigger no
+// further upstream hits.
+func TestLive429Backoff(t *testing.T) {
+	fs := &feedServer{wetBulb: 18.5}
+	l, clk, _ := newTestLive(t, fs, LiveConfig{TTL: time.Minute})
+	fs.setMode("429")
+	clk.advance(2 * time.Minute)
+	if _, err := l.At("oregon", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "429 fetch error", func() bool { return l.Health().FetchErrors >= 1 })
+	hits := fs.count()
+	// Inside the Retry-After window: misses served stale, no new fetches.
+	clk.advance(time.Minute)
+	for i := 0; i < 5; i++ {
+		if _, err := l.At("oregon", time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := fs.count(); got != hits {
+		t.Fatalf("fetched %d times inside the Retry-After window (was %d)", got, hits)
+	}
+	// Past the window the provider retries (and recovers).
+	fs.setMode("")
+	clk.advance(3 * time.Minute)
+	if _, err := l.At("oregon", time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "recovery fetch", func() bool { return fs.count() > hits })
+	waitFor(t, "freshness restored", func() bool { return !l.Health().Stale })
+}
+
+// TestLiveMalformedPayloads: garbage and semantically invalid payloads
+// are fetch errors — the cached reading keeps serving, never a partial
+// or poisoned sample.
+func TestLiveMalformedPayloads(t *testing.T) {
+	fs := &feedServer{wetBulb: 18.5}
+	l, clk, _ := newTestLive(t, fs, LiveConfig{TTL: time.Minute})
+	for i, mode := range []string{"garbage", "negative", "zerototal", "badwetbulb", "error"} {
+		fs.setMode(mode)
+		clk.advance(30 * time.Minute) // past TTL and any accumulated backoff
+		if _, err := l.At("oregon", time.Now()); err != nil {
+			t.Fatal(err)
+		}
+		want := uint64(i + 1)
+		waitFor(t, mode+" fetch error", func() bool { return l.Health().FetchErrors >= want })
+		s, err := l.At("oregon", time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(s.WetBulb) != 18.5 || math.Abs(s.Mix[energy.Coal]-0.5) > 1e-12 {
+			t.Fatalf("mode %s poisoned the cache: %+v", mode, s)
+		}
+	}
+	if h := l.Health(); h.LastError == "" {
+		t.Error("no LastError after malformed payloads")
+	}
+}
+
+// TestLiveForecastFallback: once the reading is staler than
+// ForecastAfter, At degrades to the seasonal-naive forecast (persistence
+// while cold — i.e. the last good value) and counts it.
+func TestLiveForecastFallback(t *testing.T) {
+	fs := &feedServer{wetBulb: 18.5}
+	l, clk, _ := newTestLive(t, fs, LiveConfig{TTL: time.Minute, ForecastAfter: 5 * time.Minute})
+	fs.setMode("error")
+	clk.advance(10 * time.Minute)
+	s, err := l.At("oregon", clk.now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(s.WetBulb)-18.5) > 1e-9 {
+		t.Errorf("forecast wet-bulb %g, want the persisted 18.5", float64(s.WetBulb))
+	}
+	if math.Abs(s.Mix[energy.Coal]-0.5) > 1e-9 || math.Abs(s.Mix[energy.Gas]-0.3) > 1e-9 {
+		t.Errorf("forecast mix = %v", s.Mix)
+	}
+	if s.PUE != 1.25 || s.WSF != 0.4 {
+		t.Errorf("forecast dropped the overrides: %+v", s)
+	}
+	if h := l.Health(); h.ForecastServed < 1 || !h.Stale {
+		t.Errorf("health = %+v", h)
+	}
+}
+
+func TestLiveConstructionFailures(t *testing.T) {
+	fs := &feedServer{wetBulb: 18.5}
+	fs.setMode("error")
+	ts := httptest.NewServer(fs.handler())
+	defer ts.Close()
+	if _, err := NewLive(LiveConfig{BaseURL: ts.URL, Regions: []string{"oregon"}}); err == nil {
+		t.Error("prime against a 500 upstream accepted")
+	}
+	if _, err := NewLive(LiveConfig{Regions: []string{"oregon"}}); err == nil {
+		t.Error("missing base URL accepted")
+	}
+	if _, err := NewLive(LiveConfig{BaseURL: ts.URL}); err == nil {
+		t.Error("no regions accepted")
+	}
+	if _, err := NewLive(LiveConfig{BaseURL: ts.URL, Regions: []string{"a", "a"}}); err == nil {
+		t.Error("duplicate regions accepted")
+	}
+}
+
+func TestSampleFromPayloadValidation(t *testing.T) {
+	wsfNeg := -0.1
+	cases := []struct {
+		name string
+		p    livePayload
+	}{
+		{"wrong zone", livePayload{Zone: "elsewhere", PowerBreakdown: map[string]float64{"gas": 1}, WetBulbC: 10}},
+		{"unknown source", livePayload{PowerBreakdown: map[string]float64{"fusion": 1}, WetBulbC: 10}},
+		{"nan share", livePayload{PowerBreakdown: map[string]float64{"gas": math.NaN()}, WetBulbC: 10}},
+		{"zero total", livePayload{PowerBreakdown: map[string]float64{}, WetBulbC: 10}},
+		{"wet bulb", livePayload{PowerBreakdown: map[string]float64{"gas": 1}, WetBulbC: 100}},
+		{"pue below 1", livePayload{PowerBreakdown: map[string]float64{"gas": 1}, WetBulbC: 10, PUE: 0.5}},
+		{"negative wsf", livePayload{PowerBreakdown: map[string]float64{"gas": 1}, WetBulbC: 10, WSF: &wsfNeg}},
+	}
+	for _, c := range cases {
+		if _, err := sampleFromPayload("oregon", c.p); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	s, err := sampleFromPayload("oregon", livePayload{
+		Zone: "oregon", PowerBreakdown: map[string]float64{"gas": 2, "wind": 2}, WetBulbC: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Mix[energy.Gas] != 0.5 || s.Mix[energy.Wind] != 0.5 || s.WSF != UnsetWSF || s.PUE != 0 {
+		t.Errorf("sample = %+v", s)
+	}
+}

@@ -1,0 +1,100 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"waterwise/internal/energy"
+	"waterwise/internal/feed"
+	"waterwise/internal/region"
+)
+
+// runFleet replays the given jobs through a fresh fleet over env and
+// returns the merged decision stream.
+func runFleet(t *testing.T, env *region.Environment, shards int, jobs int) []Decision {
+	t.Helper()
+	fl, err := New(Config{
+		Env: env, NewScheduler: coreFactory(t), Shards: shards,
+		Tolerance: 0.5, Round: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Stop()
+	trace := genTrace(t, env, 2000, 24)
+	if len(trace) < jobs {
+		t.Fatalf("trace too small: %d jobs", len(trace))
+	}
+	for _, j := range trace[:jobs] {
+		if _, err := fl.Submit(specFor(j)); err != nil {
+			t.Fatalf("submit job %d: %v", j.ID, err)
+		}
+	}
+	fl.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := fl.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return fl.Decisions(0, 0)
+}
+
+// TestFleetReplayFeedEquivalence is the record→replay acceptance test
+// (and CI's replay-smoke job): record the synthetic environment feed to
+// the trace wire format, rebuild the environment over a Replay provider
+// reading it back, and a 2-shard fleet run over the replayed feed must be
+// decision-for-decision identical to the same run over the original
+// synthetic feed — placements, rounds, start/finish instants, footprints,
+// shard assignment, global sequence order, everything.
+func TestFleetReplayFeedEquivalence(t *testing.T) {
+	const hours = 24 * 2
+	synthEnv, err := region.NewEnvironment(region.Defaults(), energy.Table, testStart, hours, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the feed and push it through the JSON wire format — the
+	// same bytes waterwised -record writes and -feed replay:<file> reads.
+	tr, err := feed.Record(synthEnv.Provider(), nil, testStart, hours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := feed.WriteTrace(&buf, tr, feed.FormatJSON); err != nil {
+		t.Fatal(err)
+	}
+	back, err := feed.ReadTrace(&buf, feed.FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay, err := feed.NewReplay(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayEnv, err := region.NewEnvironmentWithProvider(region.Defaults(), energy.Table, testStart, hours, replay)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const jobs = 1200
+	want := runFleet(t, synthEnv, 2, jobs)
+	got := runFleet(t, replayEnv, 2, jobs)
+	if len(want) != jobs || len(got) != len(want) {
+		t.Fatalf("synthetic fleet decided %d, replayed fleet %d, want %d", len(want), len(got), jobs)
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Seq != g.Seq || w.JobID != g.JobID || w.Region != g.Region ||
+			w.Shard != g.Shard || w.ShardSeq != g.ShardSeq {
+			t.Fatalf("decision %d routing differs:\n synthetic %+v\n replayed  %+v", i, w, g)
+		}
+		if !w.Round.Equal(g.Round) || !w.Start.Equal(g.Start) || !w.Finish.Equal(g.Finish) {
+			t.Fatalf("decision %d timing differs:\n synthetic %+v\n replayed  %+v", i, w, g)
+		}
+		if w.CarbonG != g.CarbonG || w.WaterL != g.WaterL {
+			t.Fatalf("decision %d footprint differs:\n synthetic %+v\n replayed  %+v", i, w, g)
+		}
+	}
+}

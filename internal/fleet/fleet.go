@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"waterwise/internal/cluster"
+	"waterwise/internal/feed"
 	"waterwise/internal/footprint"
 	"waterwise/internal/region"
 	"waterwise/internal/server"
@@ -113,8 +114,12 @@ type Status struct {
 	Lost        uint64            `json:"lost"`
 	Unscheduled int               `json:"unscheduled"`
 	Free        map[region.ID]int `json:"free"`
-	Err         string            `json:"err,omitempty"`
-	ShardStatus []ShardStatus     `json:"shard_status"`
+	// Feed reports the one environment feed every shard reads (shards
+	// share the provider through their partition views, so there is a
+	// single health record fleet-wide).
+	Feed        *feed.Health  `json:"feed,omitempty"`
+	Err         string        `json:"err,omitempty"`
+	ShardStatus []ShardStatus `json:"shard_status"`
 }
 
 // Fleet runs N scheduler shards behind one gateway. Construct with New,
@@ -475,5 +480,9 @@ func (f *Fleet) Status() Status {
 	st.Scheduler = st.ShardStatus[0].Scheduler
 	st.Round = st.ShardStatus[0].Round
 	st.TimeScale = st.ShardStatus[0].TimeScale
+	if prov := f.cfg.Env.Provider(); prov != nil {
+		h := feed.HealthOf(prov)
+		st.Feed = &h
+	}
 	return st
 }

@@ -475,6 +475,9 @@ func TestFleetGatewayHTTP(t *testing.T) {
 		`waterwise_jobs_accepted_total{shard="1"}`,
 		`waterwise_decisions_total{shard="1"}`,
 		`,shard="0"}`,
+		// One feed block for the whole fleet (shared provider), not one
+		// per shard.
+		`waterwise_feed_staleness_seconds{provider="synthetic"} 0`,
 	} {
 		if !strings.Contains(raw.String(), key) {
 			t.Errorf("metrics missing %q:\n%s", key, raw.String())

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"waterwise/internal/region"
+	"waterwise/internal/server"
 )
 
 // handleMetrics serves Prometheus text-format metrics for the whole
@@ -134,5 +135,9 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			row(m.name, ss.Shard, v)
 		}
 	}
+	// One feed block, not one per shard: every shard reads the same
+	// provider through its partition view, so per-shard labels would just
+	// repeat one health record N times.
+	b = server.AppendFeedMetrics(b, st.Feed)
 	_, _ = w.Write(b)
 }

@@ -15,6 +15,12 @@
 //
 // Both are online: feed observations as they arrive, ask for predictions
 // at any horizon, and evaluate with mean absolute error.
+//
+// The predictors are signal-source agnostic. feed.Series (internal/feed)
+// extracts the []float64 series Evaluate consumes from any environment
+// feed provider — synthetic, replayed, or live — and the live provider
+// itself runs SeasonalNaive forecasters as its stale-feed fallback, so
+// forecast error measurement and serving degrade use one code path.
 package forecast
 
 import (

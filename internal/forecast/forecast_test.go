@@ -5,9 +5,6 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
-
-	"waterwise/internal/energy"
-	"waterwise/internal/region"
 )
 
 var t0 = time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
@@ -71,39 +68,6 @@ func TestSeasonalNaiveFallsBackWhenCold(t *testing.T) {
 	v, ok := s.Predict(t0.Add(7 * time.Hour))
 	if !ok || v != 42 {
 		t.Errorf("cold fallback = %g, %v; want persistence 42", v, ok)
-	}
-}
-
-func TestSeasonalBeatsPersistenceOnGridCI(t *testing.T) {
-	// On a real synthetic grid with strong solar diurnality, the seasonal
-	// predictor must beat persistence at a 6-hour horizon.
-	env, err := region.NewEnvironment(region.Defaults(), energy.Table, t0, 24*14, 3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var series []float64
-	for h := 0; h < 24*14; h++ {
-		snap, _ := env.Snapshot(region.Madrid, t0.Add(time.Duration(h)*time.Hour))
-		series = append(series, float64(snap.CI))
-	}
-	pers, err := Evaluate(NewPersistence(), t0, series, 6*time.Hour, 48)
-	if err != nil {
-		t.Fatal(err)
-	}
-	sn, err := NewSeasonalNaive(3)
-	if err != nil {
-		t.Fatal(err)
-	}
-	seas, err := Evaluate(sn, t0, series, 6*time.Hour, 48)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if seas.Coverage < 0.95 || pers.Coverage < 0.95 {
-		t.Fatalf("low coverage: seasonal %.2f persistence %.2f", seas.Coverage, pers.Coverage)
-	}
-	if seas.MAE >= pers.MAE {
-		t.Errorf("seasonal MAE %.1f should beat persistence MAE %.1f on a solar-heavy grid at 6h",
-			seas.MAE, pers.MAE)
 	}
 }
 

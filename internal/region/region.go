@@ -1,6 +1,8 @@
 // Package region defines the geographically distributed data center regions
 // WaterWise schedules across, and the Environment that binds each region to
-// its synthetic grid-mix and weather series.
+// its grid-mix and weather signals through a pluggable feed.Provider —
+// synthetic generation by default (NewEnvironment), or a recorded/live feed
+// via NewEnvironmentWithProvider.
 //
 // The five default regions mirror the paper's AWS deployment — Zurich
 // (eu-central-2), Madrid (eu-south-2), Oregon (us-west-2), Milan
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"waterwise/internal/energy"
+	"waterwise/internal/feed"
 	"waterwise/internal/gridmix"
 	"waterwise/internal/units"
 	"waterwise/internal/weather"
@@ -174,28 +177,67 @@ func (s Snapshot) WaterIntensity() units.WaterIntensity {
 	return units.WaterIntensity((float64(s.WUE) + s.PUE*float64(s.EWIF)) * (1 + s.WSF))
 }
 
-// Environment binds regions to their generated grid-mix and weather series
-// under one factor table. All schedulers and the footprint accounting read
-// region conditions through an Environment.
+// Environment binds regions to their grid-mix and weather signals under one
+// factor table. All schedulers and the footprint accounting read region
+// conditions through an Environment; the Environment reads them through a
+// feed.Provider — the synthetic generators by default, or a replayed/live
+// feed. Reads are safe for concurrent use (the deterministic providers are
+// immutable; Live serves from a locked cache).
 type Environment struct {
+	// Regions are the static region descriptions, in registry order.
 	Regions []*Region
-	Table   energy.FactorTable
-	Start   time.Time
-	Hours   int
+	// Table maps energy sources to carbon/water factors.
+	Table energy.FactorTable
+	// Start is the beginning of the covered horizon.
+	Start time.Time
+	// Hours is the horizon length.
+	Hours int
 
 	byID map[ID]*Region
-	grid map[ID]*gridmix.Series
-	wx   map[ID]*weather.Series
+	prov feed.Provider
 }
 
-// NewEnvironment generates the per-region series covering [start,
-// start+hours) deterministically from seed.
+// NewEnvironment builds a synthetic-feed environment: the per-region
+// grid-mix and weather series covering [start, start+hours), generated
+// deterministically from seed — identical inputs always produce identical
+// snapshots, and the values are bit-for-bit the series this constructor
+// produced before the provider abstraction existed (the feed package's
+// seed strides pin this).
 func NewEnvironment(regions []*Region, tbl energy.FactorTable, start time.Time, hours int, seed int64) (*Environment, error) {
+	if len(regions) == 0 {
+		return nil, fmt.Errorf("region: environment needs at least one region")
+	}
+	specs := make([]feed.SyntheticRegion, len(regions))
+	for i, r := range regions {
+		specs[i] = feed.SyntheticRegion{Key: string(r.ID), Grid: r.Grid, Climate: r.Climate}
+	}
+	prov, err := feed.NewSynthetic(specs, start, hours, seed)
+	if err != nil {
+		return nil, fmt.Errorf("region: %w", err)
+	}
+	return NewEnvironmentWithProvider(regions, tbl, start, hours, prov)
+}
+
+// NewEnvironmentWithProvider builds an environment over an existing feed
+// provider — a feed.Replay serving a recorded trace, a feed.Live polling
+// an external API, or a feed.Synthetic built elsewhere. The provider must
+// answer for every region's key; it may answer for more (a replay of a
+// five-region recording backs a two-region environment). Determinism is
+// the provider's: Synthetic and Replay environments replay
+// decision-for-decision, a Live environment tracks an external world.
+func NewEnvironmentWithProvider(regions []*Region, tbl energy.FactorTable, start time.Time, hours int, prov feed.Provider) (*Environment, error) {
 	if len(regions) == 0 {
 		return nil, fmt.Errorf("region: environment needs at least one region")
 	}
 	if hours <= 0 {
 		return nil, fmt.Errorf("region: environment needs a positive horizon, got %d hours", hours)
+	}
+	if prov == nil {
+		return nil, fmt.Errorf("region: nil feed provider")
+	}
+	served := make(map[string]bool)
+	for _, key := range prov.Regions() {
+		served[key] = true
 	}
 	env := &Environment{
 		Regions: regions,
@@ -203,35 +245,37 @@ func NewEnvironment(regions []*Region, tbl energy.FactorTable, start time.Time, 
 		Start:   start,
 		Hours:   hours,
 		byID:    make(map[ID]*Region, len(regions)),
-		grid:    make(map[ID]*gridmix.Series, len(regions)),
-		wx:      make(map[ID]*weather.Series, len(regions)),
+		prov:    prov,
 	}
-	for i, r := range regions {
+	for _, r := range regions {
 		if _, dup := env.byID[r.ID]; dup {
 			return nil, fmt.Errorf("region: duplicate region %q", r.ID)
 		}
-		env.byID[r.ID] = r
-		gs, err := gridmix.Generate(r.Grid, start, hours, seed+int64(i)*7919)
-		if err != nil {
-			return nil, fmt.Errorf("region %q: %w", r.ID, err)
+		if !served[string(r.ID)] {
+			return nil, fmt.Errorf("region: %s feed does not serve region %q", prov.Name(), r.ID)
 		}
-		env.grid[r.ID] = gs
-		env.wx[r.ID] = weather.Generate(r.Climate, start, hours, seed+int64(i)*104729+1)
+		env.byID[r.ID] = r
 	}
 	return env, nil
 }
+
+// Provider exposes the feed behind this environment — the serving layer
+// reads its health for /v1/status and /metrics, and waterwised -record
+// samples it into a replay trace.
+func (e *Environment) Provider() feed.Provider { return e.prov }
 
 // Region returns the static region description for id, or nil if unknown.
 func (e *Environment) Region(id ID) *Region { return e.byID[id] }
 
 // Partition returns a view of the environment restricted to the named
-// regions, in the given order. The view shares the receiver's generated
-// grid-mix and weather series — partitioning never regenerates or reseeds
-// them, so a snapshot read through a view is bit-identical to one read
+// regions, in the given order. The view shares the receiver's feed
+// provider — partitioning never regenerates, reseeds, or re-fetches the
+// signals, so a snapshot read through a view is bit-identical to one read
 // through the full environment. That sharing is what makes region-sharded
 // serving (internal/fleet) decision-identical to a single scheduler over
 // the same world: every shard sees the same series the single server
-// would, just fewer regions of it.
+// would, just fewer regions of it (and N shards over one Live provider
+// share one cache, not N upstream pollers).
 func (e *Environment) Partition(ids ...ID) (*Environment, error) {
 	if len(ids) == 0 {
 		return nil, fmt.Errorf("region: empty partition")
@@ -241,8 +285,7 @@ func (e *Environment) Partition(ids ...ID) (*Environment, error) {
 		Start: e.Start,
 		Hours: e.Hours,
 		byID:  make(map[ID]*Region, len(ids)),
-		grid:  e.grid,
-		wx:    e.wx,
+		prov:  e.prov,
 	}
 	view.Regions = make([]*Region, 0, len(ids))
 	for _, id := range ids {
@@ -268,33 +311,52 @@ func (e *Environment) IDs() []ID {
 	return out
 }
 
-// Snapshot returns the full sustainability snapshot for region id at time t.
-// The boolean is false if the region is unknown.
+// Snapshot returns the full sustainability snapshot for region id at time
+// t: the provider's sample turned into CI/EWIF under the factor table and
+// WUE under the wet-bulb model, with the region's static WSF/PUE unless
+// the sample overrides them. The boolean is false if the region is
+// unknown (or, for a live feed that never primed the region, on a
+// provider error — deterministic providers never fail on a known region).
 func (e *Environment) Snapshot(id ID, t time.Time) (Snapshot, bool) {
 	r, ok := e.byID[id]
 	if !ok {
 		return Snapshot{}, false
 	}
-	gs := e.grid[id]
+	smp, err := e.prov.At(string(id), t)
+	if err != nil {
+		return Snapshot{}, false
+	}
+	pue := r.PUE
+	if smp.PUE > 0 {
+		pue = smp.PUE
+	}
+	wsf := r.WSF
+	if smp.WSF >= 0 {
+		wsf = smp.WSF
+	}
 	return Snapshot{
 		Region: id,
 		Time:   t,
-		CI:     gs.CarbonIntensityAt(t, e.Table),
-		EWIF:   gs.EWIFAt(t, e.Table),
-		WUE:    e.wx[id].WUEAt(t),
-		WSF:    r.WSF,
-		PUE:    r.PUE,
+		CI:     smp.Mix.CarbonIntensity(e.Table),
+		EWIF:   smp.Mix.EWIF(e.Table),
+		WUE:    weather.WUEFromWetBulb(smp.WetBulb),
+		WSF:    wsf,
+		PUE:    pue,
 	}, true
 }
 
 // MixAt exposes the raw energy mix for region id at time t (used by the
-// Ecovisor comparator, which reacts to the solar share).
+// Ecovisor comparator, which reacts to the solar share). Unknown regions
+// and provider errors yield the zero mix.
 func (e *Environment) MixAt(id ID, t time.Time) energy.Mix {
-	gs, ok := e.grid[id]
-	if !ok {
+	if e.byID[id] == nil {
 		return energy.Mix{}
 	}
-	return gs.MixAt(t)
+	smp, err := e.prov.At(string(id), t)
+	if err != nil {
+		return energy.Mix{}
+	}
+	return smp.Mix
 }
 
 // End returns the first instant past the generated horizon.

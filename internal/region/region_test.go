@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"waterwise/internal/energy"
+	"waterwise/internal/feed"
 	"waterwise/internal/units"
 )
 
@@ -225,6 +226,78 @@ func TestIDsOrder(t *testing.T) {
 	}
 	if got := env.End(); !got.Equal(testStart.Add(365 * 24 * time.Hour)) {
 		t.Errorf("End() = %v", got)
+	}
+}
+
+// TestProviderBackedEquivalence pins the refactor's decision-invariance
+// at the source: an environment over an explicitly built synthetic
+// provider must answer snapshots bit-identically to the seeded
+// constructor — NewEnvironment is now NewEnvironmentWithProvider over
+// feed.NewSynthetic, and nothing about the series may change.
+func TestProviderBackedEquivalence(t *testing.T) {
+	const hours = 24 * 7
+	const seed = 5
+	want, err := NewEnvironment(Defaults(), energy.Table, testStart, hours, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := Defaults()
+	specs := make([]feed.SyntheticRegion, len(regions))
+	for i, r := range regions {
+		specs[i] = feed.SyntheticRegion{Key: string(r.ID), Grid: r.Grid, Climate: r.Climate}
+	}
+	prov, err := feed.NewSynthetic(specs, testStart, hours, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewEnvironmentWithProvider(regions, energy.Table, testStart, hours, prov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Provider() != feed.Provider(prov) {
+		t.Fatal("Provider() does not expose the provider the environment was built over")
+	}
+	for h := 0; h < hours; h++ {
+		at := testStart.Add(time.Duration(h)*time.Hour + 13*time.Minute)
+		for _, id := range want.IDs() {
+			sw, okw := want.Snapshot(id, at)
+			sg, okg := got.Snapshot(id, at)
+			if !okw || !okg || sw != sg {
+				t.Fatalf("snapshot for %s at hour %d differs through the explicit provider", id, h)
+			}
+			if want.MixAt(id, at) != got.MixAt(id, at) {
+				t.Fatalf("mix for %s at hour %d differs through the explicit provider", id, h)
+			}
+		}
+	}
+}
+
+// TestEnvironmentWithProviderValidation covers the provider-backed
+// constructor's rejections, including a provider that does not serve
+// every region (the reverse — a provider serving more regions than the
+// environment uses — is legal and exercised by partition views).
+func TestEnvironmentWithProviderValidation(t *testing.T) {
+	regions := Defaults()
+	specs := []feed.SyntheticRegion{{Key: string(Zurich), Grid: regions[0].Grid, Climate: regions[0].Climate}}
+	narrow, err := feed.NewSynthetic(specs, testStart, 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEnvironmentWithProvider(regions, energy.Table, testStart, 24, narrow); err == nil {
+		t.Error("provider missing four of five regions accepted")
+	}
+	if _, err := NewEnvironmentWithProvider(regions, energy.Table, testStart, 24, nil); err == nil {
+		t.Error("nil provider accepted")
+	}
+	if _, err := NewEnvironmentWithProvider(nil, energy.Table, testStart, 24, narrow); err == nil {
+		t.Error("empty region list accepted")
+	}
+	if _, err := NewEnvironmentWithProvider(regions[:1], energy.Table, testStart, 0, narrow); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	// A wider provider backing a narrower environment is fine.
+	if _, err := NewEnvironmentWithProvider(regions[:1], energy.Table, testStart, 24, narrow); err != nil {
+		t.Errorf("single-region environment over a matching provider rejected: %v", err)
 	}
 }
 

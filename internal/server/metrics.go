@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sort"
 
+	"waterwise/internal/feed"
 	"waterwise/internal/region"
 )
 
@@ -53,5 +54,33 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("waterwise_solver_cold_starts_total", "LP solves run from scratch.", float64(st.Solver.ColdStarts))
 		counter("waterwise_solver_wall_seconds_total", "Aggregate solver wall time.", st.Solver.Wall.Seconds())
 	}
+	b = AppendFeedMetrics(b, st.Feed)
 	_, _ = w.Write(b)
+}
+
+// AppendFeedMetrics renders the environment-feed health block — provider
+// identity, staleness, and fetch/cache accounting — in Prometheus text
+// format. Shared by this server's /metrics and the fleet gateway's
+// (which reports the one provider all shards share exactly once, rather
+// than once per shard).
+func AppendFeedMetrics(b []byte, h *feed.Health) []byte {
+	if h == nil {
+		return b
+	}
+	label := func(name, help, typ string, v float64) {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s %s\n%s{provider=%q} %g\n",
+			name, help, name, typ, name, h.Provider, v)...)
+	}
+	stale := 0.0
+	if h.Stale {
+		stale = 1
+	}
+	label("waterwise_feed_staleness_seconds", "Age of the oldest region's last good feed reading.", "gauge", h.StalenessSeconds)
+	label("waterwise_feed_stale", "1 when any region's feed reading is older than the freshness target.", "gauge", stale)
+	label("waterwise_feed_fetches_total", "Upstream feed fetches attempted.", "counter", float64(h.Fetches))
+	label("waterwise_feed_fetch_errors_total", "Upstream feed fetches that failed (timeouts, 429s, bad payloads).", "counter", float64(h.FetchErrors))
+	label("waterwise_feed_cache_hits_total", "Feed reads served inside the freshness window.", "counter", float64(h.CacheHits))
+	label("waterwise_feed_cache_misses_total", "Feed reads past the freshness window (served stale or forecast).", "counter", float64(h.CacheMisses))
+	label("waterwise_feed_forecast_served_total", "Feed reads degraded to the forecast fallback.", "counter", float64(h.ForecastServed))
+	return b
 }

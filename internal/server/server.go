@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"waterwise/internal/cluster"
+	"waterwise/internal/feed"
 	"waterwise/internal/footprint"
 	"waterwise/internal/milp"
 	"waterwise/internal/region"
@@ -200,6 +201,10 @@ type Status struct {
 	// Solver carries branch-and-bound instrumentation when the scheduler
 	// exposes it (the WaterWise controller does).
 	Solver *milp.Stats `json:"solver,omitempty"`
+	// Feed reports the environment feed behind this server's decisions:
+	// which provider, how stale its readings are, and its fetch/cache
+	// accounting (trivially fresh for the deterministic providers).
+	Feed *feed.Health `json:"feed,omitempty"`
 	// Err reports a scheduler failure that halted the round loop.
 	Err string `json:"err,omitempty"`
 }
@@ -588,6 +593,10 @@ func (s *Server) Status() Status {
 	if ss, ok := s.cfg.Scheduler.(solverStatser); ok {
 		stats := ss.SolverStats()
 		st.Solver = &stats
+	}
+	if prov := s.cfg.Env.Provider(); prov != nil {
+		h := feed.HealthOf(prov)
+		st.Feed = &h
 	}
 	if s.runErr != nil {
 		st.Err = s.runErr.Error()

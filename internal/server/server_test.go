@@ -453,6 +453,9 @@ func TestDecisionsPagingAndStatusAndMetrics(t *testing.T) {
 	if st.Decisions != 10 || st.Scheduler != "waterwise" || st.Solver == nil {
 		t.Fatalf("status: %+v", st)
 	}
+	if st.Feed == nil || st.Feed.Provider != "synthetic" || st.Feed.Stale {
+		t.Fatalf("status feed health: %+v", st.Feed)
+	}
 
 	resp, err = http.Get(ts.URL + PathMetrics)
 	if err != nil {
@@ -467,6 +470,10 @@ func TestDecisionsPagingAndStatusAndMetrics(t *testing.T) {
 		"waterwise_rounds_total",
 		"waterwise_solver_simplex_iters_total",
 		"waterwise_region_free_servers{region=\"oregon\"}",
+		"# TYPE waterwise_feed_staleness_seconds gauge",
+		"waterwise_feed_staleness_seconds{provider=\"synthetic\"} 0",
+		"# TYPE waterwise_feed_fetch_errors_total counter",
+		"waterwise_feed_stale{provider=\"synthetic\"} 0",
 	} {
 		if !strings.Contains(raw.String(), key) {
 			t.Errorf("metrics missing %q:\n%s", key, raw.String())

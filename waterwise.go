@@ -19,11 +19,13 @@ package waterwise
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"waterwise/internal/cluster"
 	"waterwise/internal/core"
 	"waterwise/internal/energy"
+	"waterwise/internal/feed"
 	"waterwise/internal/fleet"
 	"waterwise/internal/footprint"
 	"waterwise/internal/metrics"
@@ -73,16 +75,53 @@ const (
 	Mumbai = region.Mumbai
 )
 
+// FeedSource selects where an environment's grid-mix and weather signals
+// come from (EnvironmentConfig.Source).
+type FeedSource string
+
+// The three environment feed sources.
+const (
+	// FeedSynthetic generates the paper's deterministic synthetic series
+	// from the seed — the default, and bit-identical to what every
+	// release before the feed abstraction produced.
+	FeedSynthetic FeedSource = "synthetic"
+	// FeedReplay serves a recorded trace file (EnvironmentConfig.FeedPath;
+	// JSON or CSV — see internal/feed's Trace schema). Replays are as
+	// deterministic as synthetic runs: the same trace always yields the
+	// same decisions.
+	FeedReplay FeedSource = "replay"
+	// FeedLive polls an electricityMaps-style HTTP API
+	// (EnvironmentConfig.FeedURL) with TTL caching and stale/forecast
+	// fallback; decisions then track an external world and are not
+	// replayable from a seed.
+	FeedLive FeedSource = "live"
+)
+
+// FeedHealth is the environment feed's freshness and fetch accounting, as
+// surfaced in /v1/status and /metrics (see Environment.FeedHealth).
+type FeedHealth = feed.Health
+
 // EnvironmentConfig sizes the simulated world.
 type EnvironmentConfig struct {
 	// Regions selects a subset of the five paper regions; empty means all.
 	Regions []RegionID
 	// Start is the beginning of the simulated horizon (default: 2023-07-01
-	// UTC, the paper's data window).
+	// UTC, the paper's data window; for FeedReplay, the trace's own start;
+	// for FeedLive, the current hour).
 	Start time.Time
-	// HorizonHours is the length of the generated grid/weather series
-	// (default: 96).
+	// HorizonHours is the length of the grid/weather series (default: 96;
+	// for FeedReplay, the recorded span).
 	HorizonHours int
+	// Source selects the environment feed: FeedSynthetic (the default
+	// when empty), FeedReplay, or FeedLive.
+	Source FeedSource
+	// FeedPath is the recorded trace file FeedReplay serves (.json or
+	// .csv; written by Environment.RecordFeed / waterwised -record).
+	FeedPath string
+	// FeedURL is the base URL FeedLive polls; the API token, if the
+	// service needs one, is read from the WATERWISE_FEED_TOKEN
+	// environment variable.
+	FeedURL string
 	// UseWRIWaterData switches to the World Resources Institute-style
 	// water factor table (the paper's Fig. 6 robustness dataset).
 	UseWRIWaterData bool
@@ -106,14 +145,10 @@ type Environment struct {
 	fp  *footprint.Model
 }
 
-// NewEnvironment builds the simulated world.
+// NewEnvironment builds the simulated world over the configured feed
+// source: deterministic synthetic series (the default), a recorded replay
+// trace, or a live HTTP feed.
 func NewEnvironment(cfg EnvironmentConfig) (*Environment, error) {
-	if cfg.Start.IsZero() {
-		cfg.Start = time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
-	}
-	if cfg.HorizonHours == 0 {
-		cfg.HorizonHours = 96
-	}
 	var regions []*region.Region
 	var err error
 	if len(cfg.Regions) == 0 {
@@ -133,7 +168,80 @@ func NewEnvironment(cfg EnvironmentConfig) (*Environment, error) {
 	if cfg.UseWRIWaterData {
 		table = energy.WRITable
 	}
-	env, err := region.NewEnvironment(regions, table, cfg.Start, cfg.HorizonHours, cfg.Seed)
+
+	var env *region.Environment
+	switch cfg.Source {
+	case "", FeedSynthetic:
+		if cfg.Start.IsZero() {
+			cfg.Start = time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
+		}
+		if cfg.HorizonHours == 0 {
+			cfg.HorizonHours = 96
+		}
+		env, err = region.NewEnvironment(regions, table, cfg.Start, cfg.HorizonHours, cfg.Seed)
+	case FeedReplay:
+		if cfg.FeedPath == "" {
+			return nil, fmt.Errorf("waterwise: %s feed needs FeedPath", FeedReplay)
+		}
+		var tr feed.Trace
+		tr, err = feed.ReadTraceFile(cfg.FeedPath)
+		if err != nil {
+			return nil, err
+		}
+		// The recorded span sizes the environment unless the caller
+		// narrows it explicitly. A caller-chosen Start keeps the horizon
+		// anchored to the recorded end, so the default window never
+		// extends past the data into clamped flat-line territory.
+		start, hours := tr.Span()
+		end := start.Add(time.Duration(hours) * time.Hour)
+		if !cfg.Start.IsZero() {
+			start = cfg.Start
+		}
+		if cfg.HorizonHours > 0 {
+			hours = cfg.HorizonHours
+		} else {
+			span := end.Sub(start)
+			hours = int(span / time.Hour)
+			if span%time.Hour != 0 {
+				hours++
+			}
+			if hours <= 0 {
+				return nil, fmt.Errorf("waterwise: Start %v is at or past the replay trace's end %v", start, end)
+			}
+		}
+		var prov *feed.Replay
+		prov, err = feed.NewReplay(tr)
+		if err != nil {
+			return nil, err
+		}
+		env, err = region.NewEnvironmentWithProvider(regions, table, start, hours, prov)
+	case FeedLive:
+		if cfg.FeedURL == "" {
+			return nil, fmt.Errorf("waterwise: %s feed needs FeedURL", FeedLive)
+		}
+		if cfg.Start.IsZero() {
+			cfg.Start = time.Now().UTC().Truncate(time.Hour)
+		}
+		if cfg.HorizonHours == 0 {
+			cfg.HorizonHours = 96
+		}
+		keys := make([]string, len(regions))
+		for i, r := range regions {
+			keys[i] = string(r.ID)
+		}
+		var prov *feed.Live
+		prov, err = feed.NewLive(feed.LiveConfig{
+			BaseURL: cfg.FeedURL,
+			Regions: keys,
+			Token:   os.Getenv("WATERWISE_FEED_TOKEN"),
+		})
+		if err != nil {
+			return nil, err
+		}
+		env, err = region.NewEnvironmentWithProvider(regions, table, cfg.Start, cfg.HorizonHours, prov)
+	default:
+		return nil, fmt.Errorf("waterwise: unknown feed source %q", cfg.Source)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -147,8 +255,37 @@ func NewEnvironment(cfg EnvironmentConfig) (*Environment, error) {
 	}, nil
 }
 
+// RecordFeed samples the environment's feed hourly over its whole horizon
+// and writes the replay trace to path (.json or .csv). Replaying a
+// synthetic environment's recording (EnvironmentConfig{Source: FeedReplay,
+// FeedPath: path}, same regions and horizon) reproduces the original's
+// decisions exactly; this is what waterwised -record runs.
+func (e *Environment) RecordFeed(path string) error {
+	keys := make([]string, 0, len(e.env.Regions))
+	for _, r := range e.env.Regions {
+		keys = append(keys, string(r.ID))
+	}
+	tr, err := feed.Record(e.env.Provider(), keys, e.env.Start, e.env.Hours)
+	if err != nil {
+		return err
+	}
+	return feed.WriteTraceFile(path, tr)
+}
+
+// FeedHealth reports the environment feed's freshness and fetch
+// accounting — staleness seconds, fetch errors, cache hits, and
+// forecast-served counts for a live feed; a trivially fresh record for
+// the deterministic sources.
+func (e *Environment) FeedHealth() FeedHealth {
+	return feed.HealthOf(e.env.Provider())
+}
+
 // Regions returns the environment's region IDs in order.
 func (e *Environment) Regions() []RegionID { return e.env.IDs() }
+
+// HorizonHours reports the length of the environment's covered horizon —
+// the generated, recorded, or operational window length in hours.
+func (e *Environment) HorizonHours() int { return e.env.Hours }
 
 // Snapshot reads the sustainability state of a region at an instant.
 func (e *Environment) Snapshot(id RegionID, at time.Time) (Snapshot, bool) {

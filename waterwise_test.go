@@ -2,6 +2,7 @@ package waterwise
 
 import (
 	"context"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -77,6 +78,93 @@ func TestEnvironmentOptions(t *testing.T) {
 	}
 	if _, err := NewEnvironment(EnvironmentConfig{Regions: []RegionID{"atlantis"}}); err == nil {
 		t.Error("unknown region accepted")
+	}
+}
+
+// TestFeedRecordReplayEndToEnd drives the public feed surface: record a
+// synthetic environment's feed to disk, rebuild the environment from the
+// file with Source: FeedReplay, and a full scheduler run over the
+// replayed world must reproduce the synthetic run decision for decision.
+func TestFeedRecordReplayEndToEnd(t *testing.T) {
+	synth, err := NewEnvironment(EnvironmentConfig{Seed: 4, HorizonHours: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "feed.json")
+	if err := synth.RecordFeed(path); err != nil {
+		t.Fatal(err)
+	}
+	replay, err := NewEnvironment(EnvironmentConfig{Source: FeedReplay, FeedPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := replay.FeedHealth(); h.Provider != "replay" || h.Stale {
+		t.Fatalf("replay feed health = %+v", h)
+	}
+	if h := synth.FeedHealth(); h.Provider != "synthetic" {
+		t.Fatalf("synthetic feed health = %+v", h)
+	}
+	if replay.HorizonHours() != synth.HorizonHours() {
+		t.Fatalf("replay horizon %d, synthetic %d", replay.HorizonHours(), synth.HorizonHours())
+	}
+
+	jobs, err := synth.GenerateBorgTrace(TraceConfig{Days: 1, JobsPerDay: 1200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched1, err := NewScheduler(SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched2, err := NewScheduler(SchedulerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := synth.Run(sched1, jobs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replay.Run(sched2, jobs, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Outcomes) != len(got.Outcomes) {
+		t.Fatalf("synthetic run decided %d jobs, replayed %d", len(want.Outcomes), len(got.Outcomes))
+	}
+	for i := range want.Outcomes {
+		w, g := want.Outcomes[i], got.Outcomes[i]
+		if w.Job.ID != g.Job.ID || w.Region != g.Region ||
+			!w.Start.Equal(g.Start) || !w.Finish.Equal(g.Finish) ||
+			w.Compute != g.Compute || w.Comm != g.Comm {
+			t.Fatalf("outcome %d differs:\n synthetic %+v\n replayed  %+v", i, w, g)
+		}
+	}
+
+	// A caller-chosen Start keeps the default horizon anchored to the
+	// recorded end instead of extending past the data.
+	mid := time.Date(2023, 7, 2, 0, 0, 0, 0, time.UTC) // 24h into the 48h recording
+	narrowed, err := NewEnvironment(EnvironmentConfig{Source: FeedReplay, FeedPath: path, Start: mid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrowed.HorizonHours() != 24 {
+		t.Errorf("mid-trace Start horizon = %d hours, want the remaining 24", narrowed.HorizonHours())
+	}
+	if _, err := NewEnvironment(EnvironmentConfig{
+		Source: FeedReplay, FeedPath: path, Start: mid.AddDate(0, 0, 30),
+	}); err == nil {
+		t.Error("Start past the recorded span accepted")
+	}
+
+	// Misconfigurations are rejected up front.
+	if _, err := NewEnvironment(EnvironmentConfig{Source: FeedReplay}); err == nil {
+		t.Error("replay source without FeedPath accepted")
+	}
+	if _, err := NewEnvironment(EnvironmentConfig{Source: FeedLive}); err == nil {
+		t.Error("live source without FeedURL accepted")
+	}
+	if _, err := NewEnvironment(EnvironmentConfig{Source: "psychic"}); err == nil {
+		t.Error("unknown feed source accepted")
 	}
 }
 

@@ -30,6 +30,10 @@
 //	-batch     max jobs per POST             (default 64)
 //	-poll      decision poll interval        (default 50ms)
 //	-drain     extra wait for in-flight decisions after the window (default 30s)
+//	-retries   extra POST attempts per batch on connection
+//	           errors or 5xx; ids are client-assigned, so a
+//	           replayed submit dedupes server-side instead of
+//	           double-scheduling              (default 2)
 //	-seed      generator seed                (default 7)
 //	-json      machine-readable report
 package main
@@ -71,6 +75,7 @@ type report struct {
 	Accepted     int      `json:"accepted"`
 	Rejected     int      `json:"rejected"`
 	Errors       int      `json:"errors"`
+	Retried      int      `json:"retried,omitempty"`
 	Decided      int      `json:"decided"`
 	DecisionsSec float64  `json:"decisions_per_sec"`
 	RoundsSec    float64  `json:"rounds_per_sec"`
@@ -92,6 +97,7 @@ func run() error {
 		batch      = flag.Int("batch", 64, "max jobs per POST")
 		poll       = flag.Duration("poll", 50*time.Millisecond, "decision poll interval")
 		drain      = flag.Duration("drain", 30*time.Second, "extra wait for in-flight decisions")
+		retries    = flag.Int("retries", 2, "extra POST attempts per batch on connection errors or 5xx")
 		seed       = flag.Int64("seed", 7, "generator seed")
 		jsonOut    = flag.Bool("json", false, "emit a JSON report")
 	)
@@ -116,6 +122,7 @@ func run() error {
 	// first owner wins when targets overlap.
 	owner := map[waterwise.RegionID]int{}
 	startRounds := make([]uint64, len(targets))
+	startSeqs := make([]uint64, len(targets))
 	for ti, url := range targets {
 		status, err := getStatus(client, url)
 		if err != nil {
@@ -130,6 +137,7 @@ func run() error {
 			}
 		}
 		startRounds[ti] = status.Rounds
+		startSeqs[ti] = status.LastSeq
 	}
 	regions := make([]waterwise.RegionID, 0, len(owner))
 	for id := range owner {
@@ -164,6 +172,11 @@ func run() error {
 		return err
 	}
 	compress := float64(*duration) / float64(genWindow)
+	// Client-assigned ids: the trace's ids offset by a wall-derived base,
+	// so consecutive loadgen runs against one long-lived daemon never
+	// re-present an id from an earlier run. Within a run the ids are what
+	// make retries idempotent (the service dedupes a replayed submit).
+	idBase := int(time.Now().UnixMicro())
 
 	// Latency matching is keyed by (target, job id): standalone shards
 	// each mint ids from zero, so a bare id is ambiguous across targets.
@@ -189,7 +202,10 @@ func run() error {
 		pollWG.Add(1)
 		go func(ti int, url string) {
 			defer pollWG.Done()
-			var cursor uint64
+			// Start past the service's pre-existing decisions: earlier
+			// loadgen runs against the same daemon must not be matched
+			// (or counted) as this run's work.
+			cursor := startSeqs[ti]
 			unmatched := map[int]time.Time{}
 			for {
 				ds, next, err := getDecisions(client, url, cursor)
@@ -236,6 +252,18 @@ func run() error {
 			for specs := range sendCh[ti] {
 				sent := time.Now() // open-loop submission instant, pre-request
 				ids, code, err := postJobs(client, targets[ti], specs)
+				// Re-POST on connection errors and 5xx (a restarting
+				// service): the specs carry client-assigned ids, so a
+				// batch that did reach the server before the failure
+				// dedupes to its original jobs — the retry is idempotent,
+				// never a double-schedule.
+				for attempt := 0; attempt < *retries && (err != nil || code >= 500); attempt++ {
+					mu.Lock()
+					rep.Retried += len(specs)
+					mu.Unlock()
+					time.Sleep(time.Duration(attempt+1) * 100 * time.Millisecond)
+					ids, code, err = postJobs(client, targets[ti], specs)
+				}
 				mu.Lock()
 				switch {
 				case err != nil:
@@ -285,8 +313,11 @@ func run() error {
 		}
 		for _, job := range jobs[i:j] {
 			ti := owner[job.Home] // trace regions come from the targets, so every home has an owner
+			// Ids come from the trace (globally unique), not the service:
+			// a retried batch must present the same ids to dedupe.
+			id := idBase + job.ID
 			routed[ti] = append(routed[ti], waterwise.JobSpec{
-				Benchmark: job.Benchmark, Home: job.Home,
+				ID: &id, Benchmark: job.Benchmark, Home: job.Home,
 				DurationSec:    job.Duration.Seconds(),
 				EnergyKWh:      float64(job.Energy),
 				EstDurationSec: job.EstDuration.Seconds(),
@@ -378,7 +409,8 @@ func run() error {
 	}
 	fmt.Printf("loadgen: %s trace, offered %d jobs in %.1fs (%.1f/s nominal %.0f/s)\n",
 		rep.TraceStyle, rep.Offered, rep.WindowSec, rep.OfferedRate, rep.NominalRate)
-	fmt.Printf("  accepted %d, rejected %d (backpressure), errors %d\n", rep.Accepted, rep.Rejected, rep.Errors)
+	fmt.Printf("  accepted %d, rejected %d (backpressure), errors %d, retried %d\n",
+		rep.Accepted, rep.Rejected, rep.Errors, rep.Retried)
 	fmt.Printf("  decided %d (%.1f decisions/s, %.1f rounds/s)\n", rep.Decided, rep.DecisionsSec, rep.RoundsSec)
 	fmt.Printf("  decision latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
 		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms, rep.LatencyMaxMs)
@@ -408,6 +440,7 @@ func percentile(sorted []float64, p float64) float64 {
 type svcStatus struct {
 	Free        map[waterwise.RegionID]int `json:"free"`
 	Rounds      uint64                     `json:"rounds"`
+	LastSeq     uint64                     `json:"last_seq"`
 	Solver      *milp.Stats                `json:"solver"`
 	ShardStatus []struct {
 		Solver *milp.Stats `json:"solver"`

@@ -47,6 +47,10 @@
 //	               (96, or a replay trace's recorded span)   (default 0)
 //	-queue-cap     ingest queue bound (backpressure)         (default 65536)
 //	-decision-log  decision log ring capacity                (default 65536)
+//	-data-dir      durable state directory: write-ahead log
+//	               + snapshots; restart recovers it and
+//	               resumes decision-identical (default: off)
+//	-snapshot-every snapshot cadence in rounds               (default 256)
 //	-workers       solver worker count                       (default 1)
 //	-no-warm-start disable the cross-round warm start
 //	-wri           use the WRI-style water dataset
@@ -149,6 +153,8 @@ func run() error {
 		horizon     = flag.Int("horizon-hours", 0, "environment series horizon in hours (0 = auto: 96, or a replay trace's recorded span)")
 		queueCap    = flag.Int("queue-cap", 0, "ingest queue bound (0 = default 65536)")
 		decisionLog = flag.Int("decision-log", 0, "decision log ring capacity (0 = default 65536)")
+		dataDir     = flag.String("data-dir", "", "durable state directory (write-ahead log + snapshots); empty = in-memory only")
+		snapEvery   = flag.Int("snapshot-every", 0, "snapshot cadence in rounds (0 = default 256)")
 		workers     = flag.Int("workers", 1, "branch-and-bound worker count")
 		noWarm      = flag.Bool("no-warm-start", false, "disable the cross-round warm start")
 		wri         = flag.Bool("wri", false, "use the WRI-style water dataset")
@@ -202,9 +208,15 @@ func run() error {
 			Shards: *shards, ShardMap: shardMap, Scheduler: schedCfg,
 			Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
 			QueueCap: *queueCap, DecisionLogCap: *decisionLog,
+			DataDir: *dataDir, SnapshotEvery: *snapEvery,
 		})
 		if err != nil {
 			return err
+		}
+		if *dataDir != "" {
+			for _, ss := range fl.Status().ShardStatus {
+				printRecovery(fmt.Sprintf("shard %d", ss.Shard), ss.WAL)
+			}
 		}
 		fl.Start()
 		fmt.Printf("waterwised: fleet gateway on %s (%d shards, round %v, %s, tolerance %.0f%%)\n",
@@ -230,6 +242,7 @@ func run() error {
 		Regions:   splitRegions(*partCSV),
 		Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
 		QueueCap: *queueCap, DecisionLogCap: *decisionLog,
+		DataDir: *dataDir, SnapshotEvery: *snapEvery,
 	}
 	sched, err := waterwise.NewScheduler(schedCfg)
 	if err != nil {
@@ -238,6 +251,9 @@ func run() error {
 	srv, err := waterwise.NewServer(env, sched, srvCfg)
 	if err != nil {
 		return err
+	}
+	if *dataDir != "" {
+		printRecovery("server", srv.Status().WAL)
 	}
 	srv.Start()
 	served := env.Regions()
@@ -256,6 +272,24 @@ func run() error {
 			st.Solver.Nodes, st.Solver.SimplexIters, 100*st.Solver.WarmStartHitRate(), st.Solver.Wall.Round(time.Millisecond))
 	}
 	return err
+}
+
+// printRecovery summarizes what the restart path restored for one
+// durable scheduling service.
+func printRecovery(who string, w *waterwise.WALStatus) {
+	if w == nil {
+		return
+	}
+	if !w.RecoveredSnapshot && w.RecoveredRecords == 0 {
+		fmt.Printf("waterwised: %s: fresh data directory (no state to recover)\n", who)
+		return
+	}
+	src := "log replay only"
+	if w.RecoveredSnapshot {
+		src = "snapshot + log replay"
+	}
+	fmt.Printf("waterwised: %s: recovered %d log records (%s) in %.0fms; log %d segments, %d records\n",
+		who, w.RecoveredRecords, src, w.RecoveryMs, w.Segments, w.Appended)
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM or a listen error, then

@@ -450,6 +450,54 @@ func (s *Sim) Abandon() []*trace.Job {
 	return out
 }
 
+// BusySnapshot copies every region's per-server next-free instants — the
+// machine-model state a durable checkpoint must carry so a restarted
+// simulator places jobs on servers exactly as the dead one would have.
+func (s *Sim) BusySnapshot() map[region.ID][]time.Time {
+	out := make(map[region.ID][]time.Time, len(s.states))
+	for id, rs := range s.states {
+		out[id] = append([]time.Time(nil), rs.busyUntil...)
+	}
+	return out
+}
+
+// RestoreBusy overwrites the per-server reservation state from a
+// BusySnapshot taken on an identically-configured simulator. Regions and
+// server counts must match the Sim's environment exactly.
+func (s *Sim) RestoreBusy(busy map[region.ID][]time.Time) error {
+	for id, until := range busy {
+		rs, ok := s.states[id]
+		if !ok {
+			return fmt.Errorf("cluster: restoring unknown region %q", id)
+		}
+		if len(until) != rs.servers {
+			return fmt.Errorf("cluster: restoring region %q with %d servers, have %d", id, len(until), rs.servers)
+		}
+		copy(rs.busyUntil, until)
+	}
+	return nil
+}
+
+// PendingSnapshot copies the jobs awaiting placement, with the FirstSeen
+// and Deferrals bookkeeping the slack manager's urgency score depends on.
+func (s *Sim) PendingSnapshot() []PendingJob {
+	out := make([]PendingJob, len(s.pending))
+	for i, pj := range s.pending {
+		out[i] = *pj
+	}
+	return out
+}
+
+// RestorePending replaces the pending queue from a PendingSnapshot,
+// preserving order (schedulers see jobs in submission order).
+func (s *Sim) RestorePending(jobs []PendingJob) {
+	s.pending = s.pending[:0]
+	for i := range jobs {
+		pj := jobs[i]
+		s.pending = append(s.pending, &pj)
+	}
+}
+
 // Result returns the accumulated simulation result with outcomes in job-ID
 // order. The Sim remains usable; subsequent Steps keep appending to the same
 // result.

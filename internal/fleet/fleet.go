@@ -31,6 +31,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -73,6 +74,13 @@ type Config struct {
 	// DecisionLogCap bounds the merged decision ring; it is also each
 	// shard's local ring capacity (default 65536).
 	DecisionLogCap int
+	// DataDir enables durable shard state: each shard keeps its write-ahead
+	// log and snapshots under DataDir/shard-<i>, and New recovers every
+	// shard from its directory before serving. Empty disables durability.
+	DataDir string
+	// SnapshotEvery is each shard's snapshot cadence in rounds
+	// (server.Config.SnapshotEvery; 0 means the server default).
+	SnapshotEvery int
 }
 
 // Decision is one merged placement: a shard's decision re-stamped with
@@ -131,8 +139,14 @@ type Fleet struct {
 	parts  [][]region.ID
 	owner  map[region.ID]int
 
-	mu     sync.Mutex
-	autoID int
+	mu      sync.Mutex
+	autoID  int
+	started bool
+	// dead marks shards taken down by KillShard; the gateway buffers their
+	// submissions (bounded by bufCap) until RestartShard re-routes them.
+	dead     []bool
+	buffered [][]server.JobSpec
+	bufCap   int
 	// k-way merge state: the per-shard local-seq cursor, decisions fetched
 	// but not yet past the watermark, and the merged global ring.
 	cursors []uint64
@@ -204,33 +218,59 @@ func New(cfg Config) (*Fleet, error) {
 		return nil, err
 	}
 	f := &Fleet{
-		cfg:     cfg,
-		parts:   parts,
-		owner:   make(map[region.ID]int, len(cfg.Env.Regions)),
-		shards:  make([]*server.Server, cfg.Shards),
-		cursors: make([]uint64, cfg.Shards),
-		staged:  make([][]server.Decision, cfg.Shards),
+		cfg:      cfg,
+		parts:    parts,
+		owner:    make(map[region.ID]int, len(cfg.Env.Regions)),
+		shards:   make([]*server.Server, cfg.Shards),
+		dead:     make([]bool, cfg.Shards),
+		buffered: make([][]server.JobSpec, cfg.Shards),
+		bufCap:   cfg.QueueCap,
+		cursors:  make([]uint64, cfg.Shards),
+		staged:   make([][]server.Decision, cfg.Shards),
+	}
+	if f.bufCap <= 0 {
+		f.bufCap = 65536
 	}
 	for s, p := range parts {
 		for _, id := range p {
 			f.owner[id] = s
 		}
-		sched, err := cfg.NewScheduler(s, p)
+		srv, err := f.buildShard(s)
 		if err != nil {
-			return nil, fmt.Errorf("fleet: building shard %d scheduler: %w", s, err)
-		}
-		srv, err := server.New(server.Config{
-			Env: cfg.Env, Regions: p, Net: cfg.Net, FP: cfg.FP,
-			Scheduler: sched, Tolerance: cfg.Tolerance,
-			Round: cfg.Round, TimeScale: cfg.TimeScale,
-			QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("fleet: building shard %d: %w", s, err)
+			return nil, err
 		}
 		f.shards[s] = srv
+		// A recovered shard already owns ids up to its next auto id; the
+		// fleet-wide counter must never re-mint one of them.
+		if n := srv.NextAutoID(); n > f.autoID {
+			f.autoID = n
+		}
 	}
 	return f, nil
+}
+
+// buildShard constructs (or, when Config.DataDir is set, recovers) the
+// server for one shard.
+func (f *Fleet) buildShard(s int) (*server.Server, error) {
+	sched, err := f.cfg.NewScheduler(s, f.parts[s])
+	if err != nil {
+		return nil, fmt.Errorf("fleet: building shard %d scheduler: %w", s, err)
+	}
+	var dir string
+	if f.cfg.DataDir != "" {
+		dir = filepath.Join(f.cfg.DataDir, fmt.Sprintf("shard-%d", s))
+	}
+	srv, err := server.New(server.Config{
+		Env: f.cfg.Env, Regions: f.parts[s], Net: f.cfg.Net, FP: f.cfg.FP,
+		Scheduler: sched, Tolerance: f.cfg.Tolerance,
+		Round: f.cfg.Round, TimeScale: f.cfg.TimeScale,
+		QueueCap: f.cfg.QueueCap, DecisionLogCap: f.cfg.DecisionLogCap,
+		DataDir: dir, SnapshotEvery: f.cfg.SnapshotEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: building shard %d: %w", s, err)
+	}
+	return srv, nil
 }
 
 // Shards reports the shard count.
@@ -253,12 +293,30 @@ func (f *Fleet) Owner(id region.ID) (int, bool) {
 
 // Shard exposes one shard's server (tests and the standalone-shard
 // daemon mode reach through this; production callers use the gateway).
-func (f *Fleet) Shard(i int) *server.Server { return f.shards[i] }
+func (f *Fleet) Shard(i int) *server.Server {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.shards[i]
+}
+
+// shardList snapshots the shard slice so iterating methods tolerate a
+// concurrent RestartShard swapping a pointer.
+func (f *Fleet) shardList() []*server.Server {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]*server.Server(nil), f.shards...)
+}
 
 // Submit routes one job to the shard owning its home region. Ids are
 // assigned fleet-wide when the spec carries none, so the merged decision
 // log never sees two shards mint the same id; client-assigned ids must be
 // unique per home shard (globally unique ids satisfy that trivially).
+//
+// A submission for a dead shard (see KillShard) is accepted and buffered
+// at the gateway — bounded by the queue cap, overflow is ErrQueueFull —
+// and re-routed to the shard when RestartShard brings it back. The
+// shard's durable dedupe index makes the re-route idempotent, so a
+// client retrying the same id during the outage is safe.
 func (f *Fleet) Submit(spec server.JobSpec) (int, error) {
 	shard, ok := f.owner[spec.Home]
 	if !ok {
@@ -272,13 +330,105 @@ func (f *Fleet) Submit(spec server.JobSpec) (int, error) {
 	if *spec.ID >= f.autoID {
 		f.autoID = *spec.ID + 1
 	}
+	if f.dead[shard] {
+		id, err := f.bufferLocked(shard, spec)
+		f.mu.Unlock()
+		return id, err
+	}
+	srv := f.shards[shard]
 	f.mu.Unlock()
-	return f.shards[shard].Submit(spec)
+	id, err := srv.Submit(spec)
+	if errors.Is(err, server.ErrStopped) {
+		// The shard died between the route decision and the submit (or was
+		// crashed directly). Buffer if the fleet knows it is dead; a
+		// deliberately stopped shard keeps the error.
+		f.mu.Lock()
+		if f.dead[shard] {
+			id, err = f.bufferLocked(shard, spec)
+		}
+		f.mu.Unlock()
+	}
+	return id, err
+}
+
+// bufferLocked parks one spec for a dead shard. Called with f.mu held.
+func (f *Fleet) bufferLocked(shard int, spec server.JobSpec) (int, error) {
+	if len(f.buffered[shard]) >= f.bufCap {
+		return 0, server.ErrQueueFull
+	}
+	f.buffered[shard] = append(f.buffered[shard], spec)
+	return *spec.ID, nil
+}
+
+// KillShard crash-stops one shard the way a SIGKILL would: the round
+// loop halts and the shard's WAL drops its unsynced buffer, with no
+// final snapshot. The gateway marks the shard dead and buffers its
+// submissions until RestartShard. Idempotent.
+func (f *Fleet) KillShard(i int) error {
+	if i < 0 || i >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", i)
+	}
+	f.mu.Lock()
+	if f.dead[i] {
+		f.mu.Unlock()
+		return nil
+	}
+	f.dead[i] = true
+	srv := f.shards[i]
+	f.mu.Unlock()
+	srv.Crash()
+	return nil
+}
+
+// RestartShard rebuilds a killed shard from its data directory —
+// recovering the latest snapshot and replaying the log tail — flushes
+// the submissions the gateway buffered while it was down, and rejoins it
+// to the fleet (starting its round loop if the fleet is started). The
+// merge cursor is untouched: the recovered decision ring carries the
+// same shard-local sequence numbers, so the global stream continues
+// without a gap or renumbering.
+func (f *Fleet) RestartShard(i int) error {
+	if i < 0 || i >= len(f.shards) {
+		return fmt.Errorf("fleet: no shard %d", i)
+	}
+	f.mu.Lock()
+	if !f.dead[i] {
+		f.mu.Unlock()
+		return fmt.Errorf("fleet: shard %d is not dead", i)
+	}
+	srv, err := f.buildShard(i)
+	if err != nil {
+		f.mu.Unlock()
+		return err
+	}
+	f.shards[i] = srv
+	f.dead[i] = false
+	if n := srv.NextAutoID(); n > f.autoID {
+		f.autoID = n
+	}
+	pend := f.buffered[i]
+	f.buffered[i] = nil
+	started := f.started
+	f.mu.Unlock()
+	var firstErr error
+	for _, spec := range pend {
+		if _, err := srv.Submit(spec); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("fleet: re-routing buffered job to shard %d: %w", i, err)
+		}
+	}
+	if started {
+		srv.Start()
+	}
+	return firstErr
 }
 
 // Start launches every shard's round loop.
 func (f *Fleet) Start() {
-	for _, s := range f.shards {
+	f.mu.Lock()
+	f.started = true
+	shards := append([]*server.Server(nil), f.shards...)
+	f.mu.Unlock()
+	for _, s := range shards {
 		s.Start()
 	}
 }
@@ -288,7 +438,7 @@ func (f *Fleet) Start() {
 // log. Idempotent.
 func (f *Fleet) Stop() {
 	var wg sync.WaitGroup
-	for _, s := range f.shards {
+	for _, s := range f.shardList() {
 		wg.Add(1)
 		go func(s *server.Server) {
 			defer wg.Done()
@@ -306,9 +456,10 @@ func (f *Fleet) Stop() {
 // settled logs. With all shards drained the merged stream is total: every
 // decision emitted, fully (round, shard, shard-seq)-ordered.
 func (f *Fleet) Drain(ctx context.Context) error {
-	errs := make([]error, len(f.shards))
+	shards := f.shardList()
+	errs := make([]error, len(shards))
 	var wg sync.WaitGroup
-	for i, s := range f.shards {
+	for i, s := range shards {
 		wg.Add(1)
 		go func(i int, s *server.Server) {
 			defer wg.Done()
@@ -329,7 +480,7 @@ func (f *Fleet) Drain(ctx context.Context) error {
 
 // Err reports the first shard round-loop failure, if any.
 func (f *Fleet) Err() error {
-	for _, s := range f.shards {
+	for _, s := range f.shardList() {
 		if err := s.Err(); err != nil {
 			return err
 		}
@@ -341,8 +492,9 @@ func (f *Fleet) Err() error {
 // single simulator had executed the whole trace. Call after Stop or Drain
 // for a settled view.
 func (f *Fleet) Result() (*cluster.Result, error) {
-	parts := make([]*cluster.Result, len(f.shards))
-	for i, s := range f.shards {
+	shards := f.shardList()
+	parts := make([]*cluster.Result, len(shards))
+	for i, s := range shards {
 		parts[i] = s.Result()
 	}
 	return cluster.MergeResults(parts...)
@@ -445,10 +597,11 @@ func (f *Fleet) Decisions(since uint64, limit int) []Decision {
 
 // Status aggregates every shard's snapshot.
 func (f *Fleet) Status() Status {
+	shards := f.shardList()
 	st := Status{
-		Shards:      len(f.shards),
+		Shards:      len(shards),
 		Free:        make(map[region.ID]int),
-		ShardStatus: make([]ShardStatus, len(f.shards)),
+		ShardStatus: make([]ShardStatus, len(shards)),
 	}
 	// Merge before reading the shard counters: a decision logged between
 	// the two reads then shows up in Decisions but not yet in Merged,
@@ -459,7 +612,7 @@ func (f *Fleet) Status() Status {
 	st.Merged = f.seq
 	st.Lost = f.lost
 	f.mu.Unlock()
-	for i, s := range f.shards {
+	for i, s := range shards {
 		ss := s.Status()
 		st.ShardStatus[i] = ShardStatus{Shard: i, Regions: append([]region.ID(nil), f.parts[i]...), Status: ss}
 		st.Pending += ss.Pending

@@ -394,8 +394,13 @@ func TestFleetGatewayHTTP(t *testing.T) {
 	if _, code := post(server.JobSpec{ID: &dup, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); code != http.StatusAccepted {
 		t.Fatalf("first submit of id %d rejected (%d)", dup, code)
 	}
-	if _, code := post(server.JobSpec{ID: &dup, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); code != http.StatusConflict {
-		t.Errorf("duplicate id: status %d, want 409", code)
+	// An identical retry dedupes to the original id; a different spec
+	// under the same id is the 409.
+	if resp, code := post(server.JobSpec{ID: &dup, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); code != http.StatusAccepted || len(resp.Accepted) != 1 || resp.Accepted[0] != dup {
+		t.Errorf("idempotent retry: status %d accepted %v, want 202 [%d]", code, resp.Accepted, dup)
+	}
+	if _, code := post(server.JobSpec{ID: &dup, Benchmark: "swaptions", Home: region.Zurich, Submit: testStart}); code != http.StatusConflict {
+		t.Errorf("conflicting spec under same id: status %d, want 409", code)
 	}
 	if _, code := post(server.JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(-time.Hour)}); code != http.StatusBadRequest {
 		t.Errorf("outside horizon: status %d, want 400", code)

@@ -135,6 +135,43 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			row(m.name, ss.Shard, v)
 		}
 	}
+	// Durability, labeled per shard like the rest: each shard owns its own
+	// log, so fsync stalls and recovery cost are per-shard questions.
+	walRow := func(name, typ, help string, v func(*server.WALStatus) float64) {
+		wrote := false
+		for _, ss := range st.ShardStatus {
+			if ss.WAL == nil {
+				continue
+			}
+			if !wrote {
+				head(name, typ, help)
+				wrote = true
+			}
+			row(name, ss.Shard, v(ss.WAL))
+		}
+	}
+	walRow("waterwise_jobs_deduped_total", "counter", "Idempotent re-submits served from the shard's dedupe index.",
+		func(w *server.WALStatus) float64 { return float64(w.Deduped) })
+	walRow("waterwise_wal_segments", "gauge", "Write-ahead log segment files on disk.",
+		func(w *server.WALStatus) float64 { return float64(w.Segments) })
+	walRow("waterwise_wal_bytes", "gauge", "Write-ahead log size on disk (snapshots excluded).",
+		func(w *server.WALStatus) float64 { return float64(w.Bytes) })
+	walRow("waterwise_wal_records_appended_total", "counter", "Records appended to the shard's write-ahead log.",
+		func(w *server.WALStatus) float64 { return float64(w.Appended) })
+	walRow("waterwise_wal_records_synced_total", "counter", "Appended records made durable by an fsync.",
+		func(w *server.WALStatus) float64 { return float64(w.Synced) })
+	walRow("waterwise_wal_fsyncs_total", "counter", "Fsync batches flushed to the shard's log.",
+		func(w *server.WALStatus) float64 { return float64(w.Fsyncs) })
+	walRow("waterwise_wal_fsync_stall_p50_ms", "gauge", "Median fsync stall over the recent window.",
+		func(w *server.WALStatus) float64 { return float64(w.FsyncP50) / 1e6 })
+	walRow("waterwise_wal_fsync_stall_p99_ms", "gauge", "99th-percentile fsync stall over the recent window.",
+		func(w *server.WALStatus) float64 { return float64(w.FsyncP99) / 1e6 })
+	walRow("waterwise_wal_snapshots_total", "counter", "State snapshots written by the shard.",
+		func(w *server.WALStatus) float64 { return float64(w.Snapshots) })
+	walRow("waterwise_wal_recovery_ms", "gauge", "Wall time of the shard's last restart (snapshot restore + replay).",
+		func(w *server.WALStatus) float64 { return w.RecoveryMs })
+	walRow("waterwise_wal_recovered_records_total", "counter", "Log records the shard replayed at its last restart.",
+		func(w *server.WALStatus) float64 { return float64(w.RecoveredRecords) })
 	// One feed block, not one per shard: every shard reads the same
 	// provider through its partition view, so per-shard labels would just
 	// repeat one health record N times.

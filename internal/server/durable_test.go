@@ -1,0 +1,451 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"waterwise/internal/cluster"
+	"waterwise/internal/region"
+)
+
+// sameDecisionStream asserts two decision streams are decision-for-
+// decision identical — sequence, job, placement, times, footprints —
+// excluding DecidedWall (a wall-clock stamp that legitimately differs
+// between any two processes).
+func sameDecisionStream(t *testing.T, got, want []Decision) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decision stream length %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Seq != w.Seq || g.JobID != w.JobID || g.Region != w.Region ||
+			!g.Round.Equal(w.Round) || !g.Start.Equal(w.Start) || !g.Finish.Equal(w.Finish) ||
+			g.CarbonG != w.CarbonG || g.WaterL != w.WaterL {
+			t.Fatalf("decision %d diverged:\n  got  %+v\n  want %+v", i, g, w)
+		}
+	}
+}
+
+// durableConfig is the standard test configuration with durability on.
+func durableConfig(t *testing.T, dir string) Config {
+	t.Helper()
+	return Config{
+		Env: testEnv(t), Scheduler: newScheduler(t, false), Tolerance: 0.5,
+		Round: time.Minute, DataDir: dir, SnapshotEvery: 100,
+	}
+}
+
+// throttledSched delays each round by a fixed wall-clock amount and
+// delegates the decisions unchanged — it stretches an accelerated run in
+// real time without touching its output, so a mid-run crash has a
+// reliable window to land in on any machine.
+type throttledSched struct {
+	cluster.Scheduler
+	delay time.Duration
+}
+
+func (s throttledSched) Schedule(ctx *cluster.Context) ([]cluster.Decision, error) {
+	time.Sleep(s.delay)
+	return s.Scheduler.Schedule(ctx)
+}
+
+// TestCrashRestartEquivalence is the server-level crash-equivalence
+// proof: kill the service mid-run (dropping the WAL's unsynced buffer,
+// as a SIGKILL would), restart it over the same data directory, and the
+// full decision stream — recovered prefix plus post-restart suffix —
+// must be identical to an uninterrupted run of the same trace.
+func TestCrashRestartEquivalence(t *testing.T) {
+	env := testEnv(t)
+	jobs := genTrace(t, env, 2000, 24)
+
+	// Uninterrupted reference run (no durability).
+	ref, err := New(Config{Env: testEnv(t), Scheduler: newScheduler(t, false), Tolerance: 0.5, Round: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := ref.Submit(specFor(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := ref.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ref.Stop()
+	want := ref.Decisions(0, 0)
+	if len(want) != len(jobs) {
+		t.Fatalf("reference run decided %d of %d jobs", len(want), len(jobs))
+	}
+
+	// Durable run, killed mid-drain (throttled so the kill window is wide).
+	dir := t.TempDir()
+	cfg := durableConfig(t, dir)
+	cfg.Scheduler = throttledSched{Scheduler: cfg.Scheduler, delay: 500 * time.Microsecond}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := srv.Submit(specFor(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	for srv.Status().Decisions < uint64(len(jobs))/3 {
+		time.Sleep(time.Millisecond)
+	}
+	srv.Crash()
+	atCrash := srv.Status().Decisions
+	if atCrash >= uint64(len(jobs)) {
+		t.Fatalf("crash landed after the run finished (%d decisions); nothing recovered", atCrash)
+	}
+
+	// Restart over the same directory and finish the trace.
+	srv2, err := New(durableConfig(t, dir))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	defer srv2.Stop()
+	st := srv2.Status()
+	if st.WAL == nil {
+		t.Fatal("recovered server reports no wal block")
+	}
+	if !st.WAL.RecoveredSnapshot && st.WAL.RecoveredRecords == 0 {
+		t.Fatalf("recovery restored nothing: %+v", st.WAL)
+	}
+	srv2.Start()
+	if err := srv2.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got := srv2.Decisions(0, 0)
+	sameDecisionStream(t, got, want)
+	for i, d := range got {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("seq gap after recovery: decision %d has seq %d", i, d.Seq)
+		}
+	}
+}
+
+// TestDrainSnapshotCleanRestart is the clean-shutdown fast path: after a
+// Drain (and the Stop that follows), the snapshot must fully cover the
+// log, so the next start replays zero records and resumes with identical
+// state.
+func TestDrainSnapshotCleanRestart(t *testing.T) {
+	env := testEnv(t)
+	jobs := genTrace(t, env, 500, 12)
+	dir := t.TempDir()
+	srv, err := New(durableConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := srv.Submit(specFor(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := srv.Decisions(0, 0)
+	wantStatus := srv.Status()
+	srv.Stop()
+
+	srv2, err := New(durableConfig(t, dir))
+	if err != nil {
+		t.Fatalf("clean restart: %v", err)
+	}
+	defer srv2.Stop()
+	st := srv2.Status()
+	if st.WAL == nil || !st.WAL.RecoveredSnapshot {
+		t.Fatalf("clean restart did not load a snapshot: %+v", st.WAL)
+	}
+	if st.WAL.RecoveredRecords != 0 {
+		t.Fatalf("clean restart replayed %d records, want 0", st.WAL.RecoveredRecords)
+	}
+	if st.Accepted != wantStatus.Accepted || st.Decisions != wantStatus.Decisions || st.LastSeq != wantStatus.LastSeq {
+		t.Fatalf("restarted state %+v, want accepted=%d decisions=%d lastSeq=%d",
+			st, wantStatus.Accepted, wantStatus.Decisions, wantStatus.LastSeq)
+	}
+	sameDecisionStream(t, srv2.Decisions(0, 0), want)
+}
+
+// TestDedupeAcrossRestart: a client retrying an already-decided
+// submission after the server restarts gets its original id back instead
+// of ErrDuplicateID; the same id with a different spec still conflicts.
+func TestDedupeAcrossRestart(t *testing.T) {
+	env := testEnv(t)
+	jobs := genTrace(t, env, 1000, 12)
+	dir := t.TempDir()
+	srv, err := New(durableConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := srv.Submit(specFor(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	srv.Stop()
+
+	srv2, err := New(durableConfig(t, dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Stop()
+	accepted := srv2.Status().Accepted
+	for _, j := range jobs[:10] {
+		id, err := srv2.Submit(specFor(j))
+		if err != nil || id != j.ID {
+			t.Fatalf("retry of decided job %d: got (%d, %v), want (%d, nil)", j.ID, id, err, j.ID)
+		}
+	}
+	st := srv2.Status()
+	if st.Accepted != accepted {
+		t.Fatalf("retries created jobs: accepted %d -> %d", accepted, st.Accepted)
+	}
+	if st.WAL == nil || st.WAL.Deduped != 10 {
+		t.Fatalf("deduped counter: %+v, want 10", st.WAL)
+	}
+	// A conflicting spec for a live (not yet decided) id is still the
+	// duplicate-id error — dedupe never silently swallows a different job.
+	freshID := 1 << 20
+	fresh := JobSpec{ID: &freshID, Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(48 * time.Hour)}
+	if _, err := srv2.Submit(fresh); err != nil {
+		t.Fatal(err)
+	}
+	conflict := fresh
+	conflict.EnergyKWh += 1
+	if _, err := srv2.Submit(conflict); !errors.Is(err, ErrDuplicateID) {
+		t.Fatalf("conflicting retry: got %v, want ErrDuplicateID", err)
+	}
+}
+
+// TestWALStatusAndMetricsExposed: a durable server surfaces the wal
+// block on /v1/status and the waterwise_wal_* series on /metrics, so an
+// operator can watch fsync stalls and recovery cost without shell access
+// to the data directory.
+func TestWALStatusAndMetricsExposed(t *testing.T) {
+	env := testEnv(t)
+	jobs := genTrace(t, env, 500, 12)
+	srv, err := New(durableConfig(t, t.TempDir()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	for _, j := range jobs {
+		if _, err := srv.Submit(specFor(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var st Status
+	resp, err := http.Get(ts.URL + PathStatus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.WAL == nil || st.WAL.Appended == 0 || st.WAL.Fsyncs == 0 || st.WAL.Segments == 0 {
+		t.Fatalf("status wal block: %+v", st.WAL)
+	}
+	if st.WAL.Synced != st.WAL.Appended {
+		t.Fatalf("drained server has unsynced records: %+v", st.WAL)
+	}
+
+	resp, err = http.Get(ts.URL + PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := new(bytes.Buffer)
+	_, _ = raw.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, key := range []string{
+		"waterwise_wal_records_appended_total",
+		"waterwise_wal_records_synced_total",
+		"waterwise_wal_fsyncs_total",
+		"waterwise_wal_fsync_stall_p99_ms",
+		"waterwise_wal_segments",
+		"waterwise_wal_snapshots_total",
+		"waterwise_jobs_deduped_total",
+	} {
+		if !strings.Contains(raw.String(), key) {
+			t.Errorf("metrics missing %q", key)
+		}
+	}
+}
+
+// TestRecoveryRefusesDivergedConfig: recovering a data directory under a
+// different round cadence re-derives different decisions than the log
+// recorded; the replay checksum must refuse to serve rather than resume
+// with renumbered history.
+func TestRecoveryRefusesDivergedConfig(t *testing.T) {
+	env := testEnv(t)
+	jobs := genTrace(t, env, 500, 12)
+	dir := t.TempDir()
+	cfg := durableConfig(t, dir)
+	cfg.SnapshotEvery = 1 << 30 // keep everything in the log
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := srv.Submit(specFor(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.Start()
+	for srv.Status().Decisions < 50 {
+		time.Sleep(time.Millisecond)
+	}
+	// Serve the decisions so the group commit puts their rounds on disk:
+	// divergence only matters for history somebody has seen.
+	if got := srv.Decisions(0, 0); len(got) < 50 {
+		t.Fatalf("served only %d decisions", len(got))
+	}
+	srv.Crash()
+
+	bad := durableConfig(t, dir)
+	bad.SnapshotEvery = 1 << 30
+	bad.Round = 30 * time.Second
+	if _, err := New(bad); !errors.Is(err, ErrReplayDiverged) {
+		t.Fatalf("recovery under a different cadence: got %v, want ErrReplayDiverged", err)
+	}
+}
+
+// TestPacedRecoveryResumesClock: in paced mode the simulated clock must
+// continue from the recovered round clock after a restart, not reset to
+// the environment start.
+func TestPacedRecoveryResumesClock(t *testing.T) {
+	dir := t.TempDir()
+	cfg := func() Config {
+		return Config{
+			Env: testEnv(t), Scheduler: newScheduler(t, false), Tolerance: 0.5,
+			Round: time.Minute, TimeScale: 600, DataDir: dir, // 100ms wall per round
+		}
+	}
+	srv, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Submit(JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart.Add(time.Second)}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	deadline := time.Now().Add(30 * time.Second)
+	for srv.Status().Decisions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("paced round never decided")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Stop()
+	simNow := srv.Status().SimNow
+
+	srv2, err := New(cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Stop()
+	if got := srv2.Status().SimNow; got.Before(simNow) {
+		t.Fatalf("recovered clock %v behind pre-restart clock %v", got, simNow)
+	}
+	srv2.Start()
+	// A live (zero-Submit) job must be stamped at or after the recovered
+	// clock and decided in a later round — the clock never rewinds.
+	if _, err := srv2.Submit(JobSpec{Benchmark: "canneal", Home: region.Zurich}); err != nil {
+		t.Fatal(err)
+	}
+	for srv2.Status().Decisions < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("post-restart paced round never decided")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ds := srv2.Decisions(0, 0)
+	last := ds[len(ds)-1]
+	if last.Round.Before(simNow) {
+		t.Fatalf("post-restart decision round %v precedes recovered clock %v", last.Round, simNow)
+	}
+}
+
+// BenchmarkWALRecovery measures the cold restart path: recover a server
+// from a log holding a full trace of decisions and no snapshot (the
+// worst case — every record replays through the simulator). The trace
+// mirrors scripts/bench.sh's fleet workload (~29k jobs over 24h).
+func BenchmarkWALRecovery(b *testing.B) {
+	dir := b.TempDir()
+	mk := func() Config {
+		return Config{
+			Env: testEnv(b), Scheduler: newScheduler(b, false), Tolerance: 0.5,
+			Round: time.Minute, DataDir: dir, SnapshotEvery: 1 << 30,
+		}
+	}
+	jobs := genTrace(b, testEnv(b), 30000, 24)
+	srv, err := New(mk())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range jobs {
+		if _, err := srv.Submit(specFor(j)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	srv.Start()
+	// Settle without Drain: Drain would snapshot and erase the replay work
+	// this benchmark exists to measure.
+	for {
+		st := srv.Status()
+		if st.Pending+st.Future == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Serve the stream once: the read-path group commit seals the whole
+	// log, so every decision counted below survives the Crash.
+	srv.Decisions(0, 0)
+	decided := srv.Status().Decisions
+	srv.Crash()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := New(mk())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if got := rec.Status().Decisions; got != decided {
+			b.Fatalf("recovered %d decisions, want %d", got, decided)
+		}
+		b.ReportMetric(float64(rec.Status().WAL.RecoveryMs), "recovery_ms")
+		rec.Crash() // leave the log intact for the next iteration
+	}
+}

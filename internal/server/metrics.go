@@ -54,6 +54,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("waterwise_solver_cold_starts_total", "LP solves run from scratch.", float64(st.Solver.ColdStarts))
 		counter("waterwise_solver_wall_seconds_total", "Aggregate solver wall time.", st.Solver.Wall.Seconds())
 	}
+	if st.WAL != nil {
+		counter("waterwise_jobs_deduped_total", "Idempotent re-submits served from the dedupe index.", float64(st.WAL.Deduped))
+		gauge("waterwise_wal_segments", "Write-ahead log segment files on disk.", float64(st.WAL.Segments))
+		gauge("waterwise_wal_bytes", "Write-ahead log size on disk (snapshots excluded).", float64(st.WAL.Bytes))
+		counter("waterwise_wal_records_appended_total", "Records appended to the write-ahead log.", float64(st.WAL.Appended))
+		counter("waterwise_wal_records_synced_total", "Appended records made durable by an fsync.", float64(st.WAL.Synced))
+		counter("waterwise_wal_fsyncs_total", "Fsync batches flushed to the log.", float64(st.WAL.Fsyncs))
+		gauge("waterwise_wal_fsync_stall_p50_ms", "Median fsync stall over the recent window.", float64(st.WAL.FsyncP50)/1e6)
+		gauge("waterwise_wal_fsync_stall_p99_ms", "99th-percentile fsync stall over the recent window.", float64(st.WAL.FsyncP99)/1e6)
+		counter("waterwise_wal_snapshots_total", "State snapshots written.", float64(st.WAL.Snapshots))
+		counter("waterwise_wal_truncated_bytes_total", "Torn-tail bytes discarded at the last recovery.", float64(st.WAL.TruncatedBytes))
+		gauge("waterwise_wal_recovery_ms", "Wall time of the last restart's snapshot restore + replay.", st.WAL.RecoveryMs)
+		counter("waterwise_wal_recovered_records_total", "Log records replayed at the last restart.", float64(st.WAL.RecoveredRecords))
+	}
 	b = AppendFeedMetrics(b, st.Feed)
 	_, _ = w.Write(b)
 }

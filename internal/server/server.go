@@ -35,6 +35,7 @@ import (
 	"waterwise/internal/trace"
 	"waterwise/internal/transfer"
 	"waterwise/internal/units"
+	"waterwise/internal/wal"
 	"waterwise/internal/workload"
 )
 
@@ -69,6 +70,26 @@ type Config struct {
 	// DecisionLogCap bounds the in-memory decision log ring (default 65536).
 	// Older decisions are dropped from the log (never from the accounting).
 	DecisionLogCap int
+	// DataDir, when non-empty, makes the server durable: accepted jobs
+	// and scheduling rounds are written ahead to a segmented WAL under
+	// this directory, settled state is snapshotted periodically, and New
+	// recovers a prior process's state from the directory before serving
+	// (see durable.go). Empty keeps the server purely in-memory.
+	DataDir string
+	// SnapshotEvery is the snapshot cadence in scheduling rounds
+	// (default 256). Ignored without DataDir.
+	SnapshotEvery int
+	// WALSegmentBytes overrides the WAL segment rotation threshold
+	// (default 4 MiB). Ignored without DataDir.
+	WALSegmentBytes int64
+	// SyncInterval bounds how long an acknowledged job may sit in the
+	// WAL's user-space buffer before a group commit when no round fires
+	// (default 100ms). Rounds always commit their batch on completion.
+	SyncInterval time.Duration
+	// DedupeCap bounds the decided-job dedupe index that makes client
+	// re-submits idempotent after a restart (default 262144 entries,
+	// evicted FIFO).
+	DedupeCap int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -102,6 +123,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.DecisionLogCap <= 0 {
 		c.DecisionLogCap = 65536
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
+	}
+	if c.SyncInterval <= 0 {
+		c.SyncInterval = 100 * time.Millisecond
+	}
+	if c.DedupeCap <= 0 {
+		c.DedupeCap = 262144
 	}
 	return c, nil
 }
@@ -205,6 +235,9 @@ type Status struct {
 	// which provider, how stale its readings are, and its fetch/cache
 	// accounting (trivially fresh for the deterministic providers).
 	Feed *feed.Health `json:"feed,omitempty"`
+	// WAL reports the durability layer — log size, fsync accounting, and
+	// what the last restart recovered — when DataDir is configured.
+	WAL *WALStatus `json:"wal,omitempty"`
 	// Err reports a scheduler failure that halted the round loop.
 	Err string `json:"err,omitempty"`
 }
@@ -250,18 +283,36 @@ type Server struct {
 	simNow time.Time
 	// future holds accepted jobs whose Submit lies beyond simNow.
 	future futureHeap
-	// live tracks ids of jobs accepted but not yet decided (duplicate
-	// rejection); autoID assigns ids to spec-less submissions.
-	live   map[int]struct{}
+	// live tracks jobs accepted but not yet decided, keyed by id with the
+	// submission's spec digest (duplicate rejection + idempotent retry);
+	// autoID assigns ids to spec-less submissions.
+	live   map[int]uint64
 	autoID int
+	// decidedIdx remembers decided jobs' spec digests (bounded, FIFO via
+	// decidedFIFO) so a client retrying an already-placed submission gets
+	// its original id back instead of ErrDuplicateID.
+	decidedIdx  map[int]uint64
+	decidedFIFO []int
 
 	decisions []Decision // ring, capacity DecisionLogCap
 	decHead   int        // index of the oldest entry once the ring wrapped
 	decSeq    uint64
 
 	accepted, rejected, rounds, decided uint64
+	deduped                             uint64
 	unscheduled                         int
 	overheadSum                         time.Duration
+
+	// Durability (nil/zero without Config.DataDir): the write-ahead log,
+	// the group-commit and snapshot cadence state, and what the restart
+	// path recovered.
+	wlog          *wal.Log
+	walDirty      bool
+	lastWalSync   time.Time
+	sinceSnap     int
+	recoveryDur   time.Duration
+	recoveredRecs uint64
+	recoveredSnap bool
 
 	started  bool
 	stopped  bool
@@ -289,14 +340,20 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		sim:      sim,
-		simNow:   cfg.Env.Start,
-		live:     make(map[int]struct{}),
-		stopCh:   make(chan struct{}),
-		loopDone: make(chan struct{}),
+		cfg:        cfg,
+		sim:        sim,
+		simNow:     cfg.Env.Start,
+		live:       make(map[int]uint64),
+		decidedIdx: make(map[int]uint64),
+		stopCh:     make(chan struct{}),
+		loopDone:   make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.DataDir != "" {
+		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }
 
@@ -313,31 +370,45 @@ func (s *Server) simAt(wall time.Time) time.Time {
 // job's identity in the decision log. Rejections: ErrQueueFull
 // (backpressure), ErrStopped, duplicate ids, unknown benchmarks or regions,
 // and submit instants outside the environment horizon.
+//
+// Re-submits are idempotent: a client-assigned id whose spec digest
+// matches what this server already accepted (still queued or already
+// decided, up to DedupeCap history) is acknowledged again with the
+// original id and no new job — the safe-retry contract clients rely on
+// after a connection error or a shard restart. The same id with a
+// different spec stays ErrDuplicateID.
 func (s *Server) Submit(spec JobSpec) (int, error) {
 	job, err := s.buildJob(spec)
 	if err != nil {
 		return 0, err
 	}
+	digest := specDigest(spec)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.stopped {
 		s.rejected++
 		return 0, ErrStopped
 	}
+	if spec.ID != nil {
+		if g, dup := s.live[job.ID]; dup {
+			if g == digest {
+				s.deduped++
+				return job.ID, nil
+			}
+			s.rejected++
+			return 0, fmt.Errorf("%w: %d", ErrDuplicateID, job.ID)
+		}
+		if g, done := s.decidedIdx[job.ID]; done && g == digest {
+			s.deduped++
+			return job.ID, nil
+		}
+	}
 	if len(s.future)+s.sim.Pending() >= s.cfg.QueueCap {
 		s.rejected++
 		return 0, ErrQueueFull
 	}
-	if spec.ID != nil {
-		if _, dup := s.live[job.ID]; dup {
-			s.rejected++
-			return 0, fmt.Errorf("%w: %d", ErrDuplicateID, job.ID)
-		}
-	} else {
+	if spec.ID == nil {
 		job.ID = s.autoID
-	}
-	if job.ID >= s.autoID {
-		s.autoID = job.ID + 1
 	}
 	if job.Submit.IsZero() {
 		job.Submit = s.simAt(time.Now())
@@ -350,7 +421,24 @@ func (s *Server) Submit(spec JobSpec) (int, error) {
 		return 0, fmt.Errorf("%w: %v not in [%v, %v)",
 			ErrOutsideHorizon, job.Submit, s.cfg.Env.Start, s.cfg.Env.End())
 	}
-	s.live[job.ID] = struct{}{}
+	if s.wlog != nil {
+		// Write-ahead: the acceptance is logged before it is acknowledged,
+		// and group-committed by the next round or the SyncInterval.
+		if err := s.walAppendLocked(encodeJobRecord(job, digest)); err != nil {
+			s.rejected++
+			return 0, err
+		}
+		if time.Since(s.lastWalSync) >= s.cfg.SyncInterval {
+			if err := s.walSyncLocked(); err != nil {
+				s.rejected++
+				return 0, err
+			}
+		}
+	}
+	if job.ID >= s.autoID {
+		s.autoID = job.ID + 1
+	}
+	s.live[job.ID] = digest
 	heap.Push(&s.future, job)
 	s.accepted++
 	s.cond.Broadcast() // wake an idle accelerated loop
@@ -407,6 +495,10 @@ func (s *Server) Start() {
 		return
 	}
 	s.started = true
+	// Seal the pre-Start backlog: replay clients queue the whole trace
+	// before starting the clock, and from here the accelerated loop may
+	// decide (and serve) any of it within the first SyncInterval.
+	_ = s.walSyncIfDirtyLocked()
 	s.mu.Unlock()
 	go s.run()
 }
@@ -438,6 +530,14 @@ func (s *Server) Stop() {
 		s.sim.Submit(j, s.simNow)
 	}
 	s.abandonLocked()
+	if s.wlog != nil {
+		// Seal the shutdown: a final snapshot makes the next start replay
+		// zero records (the clean-shutdown fast path). After Crash the log
+		// is already closed and both calls are no-ops — exactly right, a
+		// crash must not retroactively tidy the directory.
+		_ = s.snapshotLocked()
+		_ = s.wlog.Close()
+	}
 	s.mu.Unlock()
 }
 
@@ -467,6 +567,11 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 	if s.runErr != nil {
 		return s.runErr
+	}
+	if ctx.Err() == nil && !s.stopped && s.wlog != nil {
+		// The queue is drained — settled state, nothing in flight — so a
+		// snapshot here means a subsequent restart replays zero records.
+		_ = s.snapshotLocked()
 	}
 	return ctx.Err()
 }
@@ -520,6 +625,10 @@ func (s *Server) Decisions(since uint64, limit int) []Decision {
 func (s *Server) DecisionsPage(since uint64, limit int) ([]Decision, Cursor) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Group commit on read: every decision this call returns is on disk
+	// before it leaves the process, so a served decision can never be
+	// lost to a crash — the invariant the restart equivalence rests on.
+	_ = s.walSyncIfDirtyLocked()
 	cur := Cursor{
 		Seq:      s.decSeq,
 		Frontier: s.simNow,
@@ -598,6 +707,7 @@ func (s *Server) Status() Status {
 		h := feed.HealthOf(prov)
 		st.Feed = &h
 	}
+	st.WAL = s.walStatusLocked()
 	if s.runErr != nil {
 		st.Err = s.runErr.Error()
 	}
@@ -641,7 +751,10 @@ func (s *Server) runAccelerated() {
 
 func (s *Server) runPaced() {
 	s.mu.Lock()
-	s.wallStart = time.Now()
+	// Anchor the paced clock so simulated time continues from the
+	// (possibly recovered) round clock rather than resetting to
+	// Env.Start: the wall instant that maps to simNow is "now".
+	s.wallStart = time.Now().Add(-time.Duration(float64(s.simNow.Sub(s.cfg.Env.Start)) / s.cfg.TimeScale))
 	wallRound := time.Duration(float64(s.cfg.Round) / s.cfg.TimeScale)
 	if wallRound < time.Millisecond {
 		// An extreme TimeScale would truncate the tick to zero (which
@@ -698,7 +811,8 @@ func (s *Server) nextRoundLocked() (int64, bool) {
 // roundLocked runs scheduling round nextK: ingest due arrivals, step the
 // simulator, log this round's decisions. Called with mu held.
 func (s *Server) roundLocked() {
-	now := s.cfg.Env.Start.Add(time.Duration(s.nextK) * s.cfg.Round)
+	k := s.nextK
+	now := s.cfg.Env.Start.Add(time.Duration(k) * s.cfg.Round)
 	s.simNow = now
 	s.nextK++
 	for len(s.future) > 0 && !s.future[0].Submit.After(now) {
@@ -729,18 +843,32 @@ func (s *Server) roundLocked() {
 		return
 	}
 	wall := time.Now()
+	var roundDecs []Decision
+	if s.wlog != nil && len(outcomes) > 0 {
+		roundDecs = make([]Decision, 0, len(outcomes))
+	}
 	for i := range outcomes {
 		o := &outcomes[i]
-		delete(s.live, o.Job.ID)
+		s.recordDecidedLocked(o.Job.ID)
 		s.decSeq++
 		s.decided++
-		s.logDecisionLocked(Decision{
+		d := Decision{
 			Seq: s.decSeq, JobID: o.Job.ID, Region: o.Region,
 			Round: now, Start: o.Start, Finish: o.Finish,
 			CarbonG:     float64(o.Compute.Carbon() + o.Comm.Carbon()),
 			WaterL:      float64(o.Compute.Water() + o.Comm.Water()),
 			DecidedWall: wall,
-		})
+		}
+		s.logDecisionLocked(d)
+		if roundDecs != nil {
+			roundDecs = append(roundDecs, d)
+		}
+	}
+	if s.wlog != nil {
+		// Group-commit the round (decisions included even when the batch
+		// was fully deferred: deferral counters feed the urgency score, so
+		// a zero-decision stepped round still must replay).
+		s.walRoundLocked(k, roundDecs)
 	}
 	s.cond.Broadcast()
 }

@@ -21,7 +21,7 @@ import (
 
 var testStart = time.Date(2023, 7, 1, 0, 0, 0, 0, time.UTC)
 
-func testEnv(t *testing.T) *region.Environment {
+func testEnv(t testing.TB) *region.Environment {
 	t.Helper()
 	env, err := region.NewEnvironment(region.Defaults(), energy.Table, testStart, 24*3, 21)
 	if err != nil {
@@ -30,7 +30,7 @@ func testEnv(t *testing.T) *region.Environment {
 	return env
 }
 
-func newScheduler(t *testing.T, reprice bool) *core.Scheduler {
+func newScheduler(t testing.TB, reprice bool) *core.Scheduler {
 	t.Helper()
 	cfg := core.DefaultConfig()
 	cfg.Solver.RepriceWarmStart = reprice
@@ -43,7 +43,7 @@ func newScheduler(t *testing.T, reprice bool) *core.Scheduler {
 
 // genTrace produces a millisecond-quantized trace (as the CSV wire format
 // carries) so JSON float-seconds round exactly.
-func genTrace(t *testing.T, env *region.Environment, jobsPerDay float64, hours int) []*trace.Job {
+func genTrace(t testing.TB, env *region.Environment, jobsPerDay float64, hours int) []*trace.Job {
 	t.Helper()
 	jobs, err := trace.GenerateBorgLike(trace.Config{
 		Start: testStart, Duration: time.Duration(hours) * time.Hour,
@@ -276,13 +276,21 @@ func TestSubmitValidation(t *testing.T) {
 			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
 		}
 	}
-	// Duplicate id.
+	// Duplicate id: an identical retry is idempotent (same id back, no new
+	// job), a different spec under the same id is the conflict.
 	id := 7
 	if _, err := srv.Submit(JobSpec{ID: &id, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.Submit(JobSpec{ID: &id, Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); !errors.Is(err, ErrDuplicateID) {
-		t.Errorf("duplicate id: got %v, want ErrDuplicateID", err)
+	got, err := srv.Submit(JobSpec{ID: &id, Benchmark: "canneal", Home: region.Zurich, Submit: testStart})
+	if err != nil || got != id {
+		t.Errorf("idempotent retry: got (%d, %v), want (%d, nil)", got, err, id)
+	}
+	if st := srv.Status(); st.Accepted != 1 {
+		t.Errorf("idempotent retry accepted a new job: accepted = %d, want 1", st.Accepted)
+	}
+	if _, err := srv.Submit(JobSpec{ID: &id, Benchmark: "swaptions", Home: region.Zurich, Submit: testStart}); !errors.Is(err, ErrDuplicateID) {
+		t.Errorf("conflicting spec under same id: got %v, want ErrDuplicateID", err)
 	}
 	srv.Stop()
 	if _, err := srv.Submit(JobSpec{Benchmark: "canneal", Home: region.Zurich, Submit: testStart}); !errors.Is(err, ErrStopped) {

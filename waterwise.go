@@ -467,6 +467,9 @@ type (
 	ServerDecision = server.Decision
 	// ServerStatus is a point-in-time service snapshot.
 	ServerStatus = server.Status
+	// WALStatus is the durability block of ServerStatus (log sizing,
+	// fsync stalls, recovery cost); nil when DataDir is unset.
+	WALStatus = server.WALStatus
 )
 
 // ErrQueueFull is the online service's backpressure rejection.
@@ -495,6 +498,16 @@ type ServerConfig struct {
 	QueueCap int
 	// DecisionLogCap bounds the in-memory decision log ring.
 	DecisionLogCap int
+	// DataDir enables durable state: accepted jobs and emitted decisions
+	// are written ahead to a segmented, checksummed log under this
+	// directory, snapshots cover settled state, and NewServer recovers the
+	// directory — latest snapshot plus log-tail replay — before serving,
+	// resuming decision-identical to the uninterrupted run. Empty keeps
+	// the service purely in-memory.
+	DataDir string
+	// SnapshotEvery is the snapshot cadence in scheduling rounds
+	// (0 = default 256). Only meaningful with DataDir.
+	SnapshotEvery int
 }
 
 // NewServer builds the online scheduling service over an environment and a
@@ -507,6 +520,7 @@ func NewServer(env *Environment, s Scheduler, cfg ServerConfig) (*Server, error)
 		Env: env.env, Regions: cfg.Regions, Net: env.net, FP: env.fp, Scheduler: s,
 		Tolerance: cfg.Tolerance, Round: cfg.Round, TimeScale: cfg.TimeScale,
 		QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
+		DataDir: cfg.DataDir, SnapshotEvery: cfg.SnapshotEvery,
 	})
 }
 
@@ -553,6 +567,13 @@ type FleetConfig struct {
 	QueueCap int
 	// DecisionLogCap bounds the merged decision ring and each shard's own.
 	DecisionLogCap int
+	// DataDir enables durable shard state: each shard keeps its
+	// write-ahead log and snapshots under DataDir/shard-<i> and is
+	// recovered from there by NewFleet (see ServerConfig.DataDir).
+	DataDir string
+	// SnapshotEvery is each shard's snapshot cadence in rounds
+	// (0 = default 256). Only meaningful with DataDir.
+	SnapshotEvery int
 }
 
 // NewFleet builds the sharded serving fleet over an environment. Call
@@ -569,6 +590,7 @@ func NewFleet(env *Environment, cfg FleetConfig) (*Fleet, error) {
 		Shards: cfg.Shards, ShardMap: cfg.ShardMap,
 		Tolerance: cfg.Tolerance, Round: cfg.Round, TimeScale: cfg.TimeScale,
 		QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
+		DataDir: cfg.DataDir, SnapshotEvery: cfg.SnapshotEvery,
 	})
 }
 

@@ -43,6 +43,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"net/http"
 	"os"
@@ -53,6 +54,7 @@ import (
 
 	"waterwise"
 	"waterwise/internal/milp"
+	"waterwise/internal/obs"
 	"waterwise/internal/trace"
 )
 
@@ -85,6 +87,21 @@ type report struct {
 	LatencyMaxMs float64  `json:"latency_max_ms"`
 	SolverIters  int      `json:"solver_simplex_iters"`
 	SolverWarmPc float64  `json:"solver_warm_start_pct"`
+	// Server-side decision latency, scraped from the targets' /metrics
+	// histograms (waterwise_decision_latency_seconds) at end of run and
+	// merged across targets. The server measures Submit acceptance to
+	// round commit; the client measures send instant to observed
+	// decision — their gap is queueing the server never sees.
+	ServerLatencyP50Ms float64 `json:"server_latency_p50_ms,omitempty"`
+	ServerLatencyP99Ms float64 `json:"server_latency_p99_ms,omitempty"`
+	ServerLatencyCount uint64  `json:"server_latency_count,omitempty"`
+	// CoordOmissionGapMs is client p99 minus server p99: the tail latency
+	// the client experienced that the server-side histogram cannot see
+	// (send-side queueing — the coordinated-omission blind spot of
+	// server-only measurement). CoordOmissionFlagged marks a gap above
+	// -co-gap-ms.
+	CoordOmissionGapMs   float64 `json:"coordinated_omission_gap_ms,omitempty"`
+	CoordOmissionFlagged bool    `json:"coordinated_omission_flagged,omitempty"`
 }
 
 func run() error {
@@ -100,6 +117,7 @@ func run() error {
 		retries    = flag.Int("retries", 2, "extra POST attempts per batch on connection errors or 5xx")
 		seed       = flag.Int64("seed", 7, "generator seed")
 		jsonOut    = flag.Bool("json", false, "emit a JSON report")
+		coGapMs    = flag.Float64("co-gap-ms", 250, "flag a coordinated-omission gap (client p99 - server p99) above this many ms")
 	)
 	flag.Parse()
 
@@ -402,6 +420,17 @@ func run() error {
 		rep.LatencyMaxMs = lats[len(lats)-1]
 	}
 
+	// Server-side view: scrape each target's /metrics histogram and merge
+	// (bucket edges are shared across servers, so the merge is exact).
+	// Best-effort — an obs-disabled target just leaves these fields zero.
+	if les, cums, ok := scrapeDecisionLatency(client, targets); ok {
+		rep.ServerLatencyP50Ms = 1e3 * obs.QuantileFromBuckets(les, cums, 0.50)
+		rep.ServerLatencyP99Ms = 1e3 * obs.QuantileFromBuckets(les, cums, 0.99)
+		rep.ServerLatencyCount = cums[len(cums)-1]
+		rep.CoordOmissionGapMs = rep.LatencyP99Ms - rep.ServerLatencyP99Ms
+		rep.CoordOmissionFlagged = rep.CoordOmissionGapMs > *coGapMs
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -414,10 +443,81 @@ func run() error {
 	fmt.Printf("  decided %d (%.1f decisions/s, %.1f rounds/s)\n", rep.Decided, rep.DecisionsSec, rep.RoundsSec)
 	fmt.Printf("  decision latency ms: p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
 		rep.LatencyP50Ms, rep.LatencyP90Ms, rep.LatencyP99Ms, rep.LatencyMaxMs)
+	if rep.ServerLatencyCount > 0 {
+		fmt.Printf("  server-side (scraped) ms: p50 %.1f  p99 %.1f over %d decisions\n",
+			rep.ServerLatencyP50Ms, rep.ServerLatencyP99Ms, rep.ServerLatencyCount)
+		co := ""
+		if rep.CoordOmissionFlagged {
+			co = fmt.Sprintf("  — ABOVE the %.0fms threshold: the client queue hid latency the server never saw", *coGapMs)
+		}
+		fmt.Printf("  coordinated-omission gap (client p99 - server p99): %.1fms%s\n", rep.CoordOmissionGapMs, co)
+	}
 	if rep.SolverIters > 0 {
 		fmt.Printf("  solver: %d simplex iters, %.0f%% warm-served\n", rep.SolverIters, rep.SolverWarmPc)
 	}
 	return nil
+}
+
+// scrapeDecisionLatency fetches each target's /metrics, parses the
+// decision-latency histogram — the fleet-merged family from a gateway,
+// the plain family from a single server — and merges the cumulative
+// buckets across targets into one (les, cums) pair. All waterwise
+// histograms share one bucket scheme, so the per-target deltas sum
+// exactly; elided empty buckets just contribute nothing.
+func scrapeDecisionLatency(c *http.Client, targets []string) (les []float64, cums []uint64, ok bool) {
+	deltas := map[float64]uint64{}
+	for _, base := range targets {
+		fams, err := getMetrics(c, base)
+		if err != nil {
+			continue
+		}
+		fam := fams["waterwise_fleet_decision_latency_seconds"]
+		var want map[string]string
+		if fam == nil {
+			fam = fams["waterwise_decision_latency_seconds"]
+			want = map[string]string{}
+		}
+		if fam == nil {
+			continue
+		}
+		tles, tcums := obs.HistogramBuckets(fam, want)
+		var prev uint64
+		for i, le := range tles {
+			deltas[le] += tcums[i] - prev
+			prev = tcums[i]
+		}
+		ok = true
+	}
+	if !ok || len(deltas) == 0 {
+		return nil, nil, false
+	}
+	for le := range deltas {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	var cum uint64
+	for _, le := range les {
+		cum += deltas[le]
+		cums = append(cums, cum)
+	}
+	return les, cums, true
+}
+
+// getMetrics fetches and strictly parses a target's /metrics exposition.
+func getMetrics(c *http.Client, base string) (map[string]*obs.PromFamily, error) {
+	resp, err := c.Get(base + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s/metrics: %s", base, resp.Status)
+	}
+	return obs.ParseProm(data)
 }
 
 func percentile(sorted []float64, p float64) float64 {

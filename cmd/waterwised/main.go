@@ -55,11 +55,20 @@
 //	-no-warm-start disable the cross-round warm start
 //	-wri           use the WRI-style water dataset
 //	-seed          environment RNG seed                      (default 7)
+//	-log-level     log threshold: debug, info, warn, error   (default info)
+//	-log-format    log encoding: text or json                (default text)
+//	-debug-addr    serve net/http/pprof on this address
+//	               (default: off)
+//	-no-obs        disable the observability layer (latency
+//	               histograms, round/job traces) — the
+//	               obs-off arm of the overhead benchmark
 package main
 
 import (
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -159,8 +168,35 @@ func run() error {
 		noWarm      = flag.Bool("no-warm-start", false, "disable the cross-round warm start")
 		wri         = flag.Bool("wri", false, "use the WRI-style water dataset")
 		seed        = flag.Int64("seed", 7, "environment RNG seed")
+		logLevel    = flag.String("log-level", "info", "log threshold: debug, info, warn, or error")
+		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
+		noObs       = flag.Bool("no-obs", false, "disable the observability layer (histograms, round/job traces)")
 	)
 	flag.Parse()
+
+	log, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	slog.SetDefault(log)
+
+	if *debugAddr != "" {
+		// pprof on its own listener, never the service address: profiling
+		// endpoints stay off the data path and can bind localhost-only.
+		go func() {
+			mux := http.NewServeMux()
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			log.Info("pprof listening", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Error("pprof server failed", "addr", *debugAddr, "err", err)
+			}
+		}()
+	}
 
 	envCfg := waterwise.EnvironmentConfig{
 		Regions:         splitRegions(*regionsCSV),
@@ -179,9 +215,9 @@ func run() error {
 		if err := env.RecordFeed(*record); err != nil {
 			return err
 		}
-		fmt.Printf("waterwised: recorded %s feed (%d regions, %d hours) to %s\n",
-			env.FeedHealth().Provider, len(env.Regions()), env.HorizonHours(), *record)
-		fmt.Printf("waterwised: replay it with -feed replay:%s\n", *record)
+		log.Info("recorded feed trace", "provider", env.FeedHealth().Provider,
+			"regions", len(env.Regions()), "hours", env.HorizonHours(), "file", *record,
+			"replay_with", "-feed replay:"+*record)
 		return nil
 	}
 	schedCfg := waterwise.SchedulerConfig{
@@ -209,28 +245,30 @@ func run() error {
 			Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
 			QueueCap: *queueCap, DecisionLogCap: *decisionLog,
 			DataDir: *dataDir, SnapshotEvery: *snapEvery,
+			Obs: waterwise.ObsConfig{Disable: *noObs},
 		})
 		if err != nil {
 			return err
 		}
 		if *dataDir != "" {
 			for _, ss := range fl.Status().ShardStatus {
-				printRecovery(fmt.Sprintf("shard %d", ss.Shard), ss.WAL)
+				logRecovery(log, fmt.Sprintf("shard %d", ss.Shard), ss.WAL)
 			}
 		}
 		fl.Start()
-		fmt.Printf("waterwised: fleet gateway on %s (%d shards, round %v, %s, tolerance %.0f%%)\n",
-			*addr, fl.Shards(), *round, mode, *tolerance*100)
+		log.Info("fleet gateway listening", "addr", *addr, "shards", fl.Shards(),
+			"round", round.String(), "mode", mode, "tolerance", *tolerance)
 		for s, part := range fl.Partitions() {
-			fmt.Printf("waterwised: shard %d owns %v\n", s, part)
+			log.Info("shard partition", "shard", s, "regions", fmt.Sprint(part))
 		}
-		err = serve(*addr, fl.Handler(), fl.Stop)
+		err = serve(log, *addr, fl.Handler(), fl.Stop)
 		st := fl.Status()
-		fmt.Printf("waterwised: fleet %d rounds, %d decisions (%d merged, %d lost), %d accepted, %d rejected, %d unscheduled\n",
-			st.Rounds, st.Decisions, st.Merged, st.Lost, st.Accepted, st.Rejected, st.Unscheduled)
+		log.Info("fleet stopped", "rounds", st.Rounds, "decisions", st.Decisions,
+			"merged", st.Merged, "lost", st.Lost, "accepted", st.Accepted,
+			"rejected", st.Rejected, "unscheduled", st.Unscheduled)
 		for _, ss := range st.ShardStatus {
-			fmt.Printf("waterwised: shard %d: %d rounds, %d decisions, %d accepted\n",
-				ss.Shard, ss.Rounds, ss.Decisions, ss.Accepted)
+			log.Info("shard totals", "shard", ss.Shard, "rounds", ss.Rounds,
+				"decisions", ss.Decisions, "accepted", ss.Accepted)
 		}
 		return err
 	}
@@ -243,6 +281,7 @@ func run() error {
 		Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
 		QueueCap: *queueCap, DecisionLogCap: *decisionLog,
 		DataDir: *dataDir, SnapshotEvery: *snapEvery,
+		Obs: waterwise.ObsConfig{Disable: *noObs},
 	}
 	sched, err := waterwise.NewScheduler(schedCfg)
 	if err != nil {
@@ -253,48 +292,79 @@ func run() error {
 		return err
 	}
 	if *dataDir != "" {
-		printRecovery("server", srv.Status().WAL)
+		logRecovery(log, "server", srv.Status().WAL)
 	}
 	srv.Start()
 	served := env.Regions()
 	if len(srvCfg.Regions) > 0 {
 		served = srvCfg.Regions
-		fmt.Printf("waterwised: standalone shard over partition %v of %v\n", served, env.Regions())
+		log.Info("standalone shard mode", "partition", fmt.Sprint(served), "environment", fmt.Sprint(env.Regions()))
 	}
-	fmt.Printf("waterwised: listening on %s (round %v, %s, tolerance %.0f%%, regions %v)\n",
-		*addr, *round, mode, *tolerance*100, served)
-	err = serve(*addr, srv.Handler(), srv.Stop)
+	log.Info("listening", "addr", *addr, "round", round.String(), "mode", mode,
+		"tolerance", *tolerance, "regions", fmt.Sprint(served))
+	err = serve(log, *addr, srv.Handler(), srv.Stop)
 	st := srv.Status()
-	fmt.Printf("waterwised: %d rounds, %d decisions, %d accepted, %d rejected, %d unscheduled\n",
-		st.Rounds, st.Decisions, st.Accepted, st.Rejected, st.Unscheduled)
+	log.Info("stopped", "rounds", st.Rounds, "decisions", st.Decisions,
+		"accepted", st.Accepted, "rejected", st.Rejected, "unscheduled", st.Unscheduled)
 	if st.Solver != nil {
-		fmt.Printf("waterwised: solver %d nodes, %d simplex iters, %.0f%% warm-served, %v wall\n",
-			st.Solver.Nodes, st.Solver.SimplexIters, 100*st.Solver.WarmStartHitRate(), st.Solver.Wall.Round(time.Millisecond))
+		log.Info("solver totals", "nodes", st.Solver.Nodes, "simplex_iters", st.Solver.SimplexIters,
+			"warm_hit_rate", st.Solver.WarmStartHitRate(), "wall", st.Solver.Wall.Round(time.Millisecond).String())
+	}
+	if st.Obs != nil {
+		log.Info("latency", "decision_p50_ms", st.Obs.DecisionP50Ms,
+			"decision_p99_ms", st.Obs.DecisionP99Ms, "solve_p99_ms", st.Obs.SolveP99Ms)
 	}
 	return err
 }
 
-// printRecovery summarizes what the restart path restored for one
-// durable scheduling service.
-func printRecovery(who string, w *waterwise.WALStatus) {
+// buildLogger constructs the daemon's slog logger on stderr from the
+// -log-level and -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info", "":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch strings.ToLower(format) {
+	case "text", "":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
+}
+
+// logRecovery summarizes what the restart path restored for one durable
+// scheduling service.
+func logRecovery(log *slog.Logger, who string, w *waterwise.WALStatus) {
 	if w == nil {
 		return
 	}
 	if !w.RecoveredSnapshot && w.RecoveredRecords == 0 {
-		fmt.Printf("waterwised: %s: fresh data directory (no state to recover)\n", who)
+		log.Info("fresh data directory", "who", who)
 		return
 	}
 	src := "log replay only"
 	if w.RecoveredSnapshot {
 		src = "snapshot + log replay"
 	}
-	fmt.Printf("waterwised: %s: recovered %d log records (%s) in %.0fms; log %d segments, %d records\n",
-		who, w.RecoveredRecords, src, w.RecoveryMs, w.Segments, w.Appended)
+	log.Info("recovered durable state", "who", who, "records", w.RecoveredRecords,
+		"source", src, "recovery_ms", w.RecoveryMs, "segments", w.Segments, "appended", w.Appended)
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM or a listen error, then
 // stops the scheduling service and returns the listen error, if any.
-func serve(addr string, h http.Handler, stop func()) error {
+func serve(log *slog.Logger, addr string, h http.Handler, stop func()) error {
 	httpSrv := &http.Server{Addr: addr, Handler: h}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
@@ -305,7 +375,7 @@ func serve(addr string, h http.Handler, stop func()) error {
 		stop()
 		return err
 	case s := <-sig:
-		fmt.Printf("waterwised: %v, shutting down\n", s)
+		log.Info("shutting down", "signal", s.String())
 	}
 	_ = httpSrv.Close()
 	stop()

@@ -38,6 +38,7 @@ import (
 	"waterwise/internal/cluster"
 	"waterwise/internal/feed"
 	"waterwise/internal/footprint"
+	"waterwise/internal/obs"
 	"waterwise/internal/region"
 	"waterwise/internal/server"
 	"waterwise/internal/transfer"
@@ -81,6 +82,10 @@ type Config struct {
 	// SnapshotEvery is each shard's snapshot cadence in rounds
 	// (server.Config.SnapshotEvery; 0 means the server default).
 	SnapshotEvery int
+	// Obs configures every shard's observability layer (server.Config.Obs).
+	// The gateway merges the shard histograms into fleet-level
+	// distributions and serves fleet-wide round and job trace views.
+	Obs server.ObsConfig
 }
 
 // Decision is one merged placement: a shard's decision re-stamped with
@@ -122,6 +127,10 @@ type Status struct {
 	Lost        uint64            `json:"lost"`
 	Unscheduled int               `json:"unscheduled"`
 	Free        map[region.ID]int `json:"free"`
+	// Obs digests the fleet-merged observability histograms — every
+	// shard's decision latency and round timings summed into one
+	// distribution (per-shard digests sit in each ShardStatus).
+	Obs *server.ObsSummary `json:"obs,omitempty"`
 	// Feed reports the one environment feed every shard reads (shards
 	// share the provider through their partition views, so there is a
 	// single health record fleet-wide).
@@ -155,6 +164,11 @@ type Fleet struct {
 	head    int
 	seq     uint64
 	lost    uint64
+
+	// ingest records the gateway's POST /v1/jobs wall time (jobs enter
+	// the fleet here, not through shard HTTP, so the gateway owns the
+	// ingest histogram; nil when Config.Obs.Disable).
+	ingest *obs.Histogram
 }
 
 // partition assigns every region of env to a shard: pinned regions first,
@@ -231,6 +245,9 @@ func New(cfg Config) (*Fleet, error) {
 	if f.bufCap <= 0 {
 		f.bufCap = 65536
 	}
+	if !cfg.Obs.Disable {
+		f.ingest = &obs.Histogram{}
+	}
 	for s, p := range parts {
 		for _, id := range p {
 			f.owner[id] = s
@@ -266,6 +283,7 @@ func (f *Fleet) buildShard(s int) (*server.Server, error) {
 		Round: f.cfg.Round, TimeScale: f.cfg.TimeScale,
 		QueueCap: f.cfg.QueueCap, DecisionLogCap: f.cfg.DecisionLogCap,
 		DataDir: dir, SnapshotEvery: f.cfg.SnapshotEvery,
+		Obs: f.cfg.Obs,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fleet: building shard %d: %w", s, err)
@@ -633,6 +651,9 @@ func (f *Fleet) Status() Status {
 	st.Scheduler = st.ShardStatus[0].Scheduler
 	st.Round = st.ShardStatus[0].Round
 	st.TimeScale = st.ShardStatus[0].TimeScale
+	if snaps := f.ObsSnapshots(); snaps != nil {
+		st.Obs = snaps.Summary(shards[0].JobSampleEvery())
+	}
 	if prov := f.cfg.Env.Provider(); prov != nil {
 		h := feed.HealthOf(prov)
 		st.Feed = &h

@@ -16,9 +16,13 @@ import (
 //	                      ?since=<seq>&limit=<n>
 //	GET  /v1/status     — aggregate + per-shard snapshots
 //	GET  /metrics       — Prometheus text metrics with shard labels
+//	GET  /v1/rounds/slowest   — slowest rounds across shards; ?recent=<n>
+//	GET  /v1/jobs/{id}/trace  — sampled job lifecycle, any shard
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(server.PathJobs, server.JobsHandler(f.Submit))
+	mux.HandleFunc(server.PathJobs, f.timedIngest(server.JobsHandler(f.Submit)))
+	mux.HandleFunc(server.PathRounds, server.SlowestRoundsHandler(f.SlowestRounds, f.RecentRounds))
+	mux.HandleFunc(server.PathJobs+"/", server.JobTraceHandler(f.JobTrace))
 	mux.HandleFunc(server.PathDecisions, server.DecisionsHandler(func(since uint64, limit int) (interface{}, uint64) {
 		ds := f.Decisions(since, limit)
 		next := since

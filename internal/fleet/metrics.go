@@ -58,7 +58,7 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			func(s ShardStatus) float64 { return float64(s.Future) }},
 		{"waterwise_queue_cap", "gauge", "Ingest queue capacity (backpressure threshold).",
 			func(s ShardStatus) float64 { return float64(s.QueueCap) }},
-		{"waterwise_round_overhead_mean_ms", "gauge", "Mean per-round scheduler invocation cost (Fig. 13).",
+		{"waterwise_round_overhead_mean_ms", "gauge", "DEPRECATED; use waterwise_round_stage_seconds{stage=\"solve\"}. Mean per-round scheduler invocation cost (Fig. 13).",
 			func(s ShardStatus) float64 { return s.RoundOverheadMeanMs }},
 	}
 	for _, m := range perShard {
@@ -172,6 +172,21 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		func(w *server.WALStatus) float64 { return w.RecoveryMs })
 	walRow("waterwise_wal_recovered_records_total", "counter", "Log records the shard replayed at its last restart.",
 		func(w *server.WALStatus) float64 { return float64(w.RecoveredRecords) })
+	// Latency histograms twice over: the per-server families labeled by
+	// shard (which shard's solve is slow), then the shard-merged
+	// fleet-level distributions (what a client of the gateway sees) —
+	// exact sums, since every histogram shares one bucket scheme.
+	if shardSnaps := f.ShardObsSnapshots(); len(shardSnaps) > 0 {
+		first := true
+		for shard, snaps := range shardSnaps {
+			if snaps == nil {
+				continue
+			}
+			b = server.AppendObsMetrics(b, snaps, "waterwise_", fmt.Sprintf("shard=\"%d\"", shard), first)
+			first = false
+		}
+	}
+	b = server.AppendObsMetrics(b, f.ObsSnapshots(), "waterwise_fleet_", "", true)
 	// One feed block, not one per shard: every shard reads the same
 	// provider through its partition view, so per-shard labels would just
 	// repeat one health record N times.

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// relBucketError is the scheme's worst-case relative quantile error: one
+// bucket spans a factor of 2^(1/4), so an interpolated quantile can miss
+// the true value by at most that ratio. The tests allow a hair more for
+// floating-point slop at the edges.
+const relBucketError = 0.20
+
+func TestBucketIndexEdges(t *testing.T) {
+	if got := bucketIndex(0); got != 0 {
+		t.Errorf("bucketIndex(0) = %d, want 0", got)
+	}
+	if got := bucketIndex(-1); got != 0 {
+		t.Errorf("bucketIndex(-1) = %d, want 0", got)
+	}
+	if got := bucketIndex(1e-12); got != 0 {
+		t.Errorf("bucketIndex(1e-12) = %d, want 0 (tiny values clamp to the first bucket)", got)
+	}
+	if got := bucketIndex(math.MaxFloat64); got != numBuckets {
+		t.Errorf("bucketIndex(huge) = %d, want %d (overflow bucket)", got, numBuckets)
+	}
+	// Every exact edge must land in the bucket it bounds (inclusive upper),
+	// give or take the one-off floating slop the scheme tolerates.
+	for i := 0; i < numBuckets; i++ {
+		got := bucketIndex(boundaries[i])
+		if got != i && got != i+1 {
+			t.Fatalf("bucketIndex(boundaries[%d]=%g) = %d, want %d or %d", i, boundaries[i], got, i, i+1)
+		}
+		// Just above the edge must move past bucket i.
+		above := boundaries[i] * (1 + 1e-9)
+		if got := bucketIndex(above); got < i {
+			t.Fatalf("bucketIndex(just above edge %d) = %d, went backwards", i, got)
+		}
+	}
+	// Values within a bucket's span must land in it.
+	for _, v := range []float64{2e-6, 1e-3, 0.5, 1, 10, 100} {
+		i := bucketIndex(v)
+		if i >= numBuckets {
+			t.Fatalf("bucketIndex(%g) overflowed", v)
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = boundaries[i-1]
+		}
+		if v <= lo || v > boundaries[i]*(1+1e-12) {
+			t.Errorf("bucketIndex(%g) = %d, but bucket spans (%g, %g]", v, i, lo, boundaries[i])
+		}
+	}
+}
+
+// trueQuantile is the reference: the empirical quantile of the raw stream.
+func trueQuantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+func TestQuantileWithinBucketError(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	vals := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades — exercises many octaves.
+		v := math.Exp(rng.Float64()*14 - 9) // e^-9 .. e^5 seconds
+		h.Record(v)
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	snap := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := snap.Quantile(q)
+		want := trueQuantile(vals, q)
+		if rel := math.Abs(got-want) / want; rel > relBucketError {
+			t.Errorf("q=%g: histogram %g vs true %g (rel err %.3f > %.2f)", q, got, want, rel, relBucketError)
+		}
+	}
+	if math.Abs(snap.Mean()-mean(vals))/mean(vals) > 1e-9 {
+		t.Errorf("mean drifted: %g vs %g (sum is exact, not bucketed)", snap.Mean(), mean(vals))
+	}
+}
+
+func mean(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v
+	}
+	return s / float64(len(vals))
+}
+
+// TestMergeQuantileProperty is the merge law the shard → gateway
+// aggregation rests on: merge(a, b) is counter-identical to a histogram
+// fed both streams, so merged quantiles equal combined-stream quantiles
+// exactly at the counter level — and match the true combined stream
+// within the bucket error.
+func TestMergeQuantileProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var a, b, combined Histogram
+	var all []float64
+	for i := 0; i < 10000; i++ {
+		// Disjoint-ish scales per shard: a fast shard and a slow shard.
+		va := math.Exp(rng.Float64()*6 - 10)
+		vb := math.Exp(rng.Float64()*6 - 6)
+		a.Record(va)
+		b.Record(vb)
+		combined.Record(va)
+		combined.Record(vb)
+		all = append(all, va, vb)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := combined.Snapshot()
+	if merged.Counts != want.Counts || merged.Over != want.Over || merged.Count != want.Count {
+		t.Fatalf("merge(a,b) is not counter-identical to the combined stream:\nmerged   %+v\ncombined %+v",
+			mergedSummary(merged), mergedSummary(want))
+	}
+	// Sum is a float accumulated in different orders — equal up to rounding.
+	if math.Abs(merged.Sum-want.Sum)/want.Sum > 1e-12 {
+		t.Fatalf("merged sum %v vs combined %v", merged.Sum, want.Sum)
+	}
+	sort.Float64s(all)
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := merged.Quantile(q)
+		tq := trueQuantile(all, q)
+		if rel := math.Abs(got-tq) / tq; rel > relBucketError {
+			t.Errorf("merged q=%g: %g vs true %g (rel err %.3f)", q, got, tq, rel)
+		}
+	}
+}
+
+func mergedSummary(s Snapshot) map[string]interface{} {
+	occupied := 0
+	for _, c := range s.Counts {
+		if c > 0 {
+			occupied++
+		}
+	}
+	return map[string]interface{}{"count": s.Count, "sum": s.Sum, "over": s.Over, "occupied": occupied}
+}
+
+func TestMergeEmptyAndOverflow(t *testing.T) {
+	var a Histogram
+	a.Record(1e9) // way past the last edge
+	a.Record(0.5)
+	s := a.Snapshot()
+	if s.Over != 1 || s.Count != 2 {
+		t.Fatalf("overflow accounting: over=%d count=%d", s.Over, s.Count)
+	}
+	var empty Snapshot
+	s.Merge(empty)
+	if s.Count != 2 {
+		t.Fatalf("merging empty changed count: %d", s.Count)
+	}
+	empty.Merge(s)
+	if empty.Count != 2 || empty.Over != 1 {
+		t.Fatalf("merge into empty lost counters: %+v", mergedSummary(empty))
+	}
+	// All mass past the edge: quantile reports the last finite edge.
+	var over Histogram
+	over.Record(1e9)
+	os := over.Snapshot()
+	if got := os.Quantile(0.99); got != boundaries[numBuckets-1] {
+		t.Errorf("overflow-only quantile = %g, want last edge %g", got, boundaries[numBuckets-1])
+	}
+}
+
+func TestNilHistogram(t *testing.T) {
+	var h *Histogram
+	h.Record(1) // must not panic
+	s := h.Snapshot()
+	if s.Count != 0 || s.Quantile(0.5) != 0 || s.Mean() != 0 {
+		t.Fatalf("nil histogram not empty: %+v", mergedSummary(s))
+	}
+}
+
+// TestHistogramConcurrency hammers the hot-path recorder from many
+// goroutines while a reader snapshots — run under -race this is the
+// concurrency proof for the lock-free counters.
+func TestHistogramConcurrency(t *testing.T) {
+	var h Histogram
+	const goroutines = 8
+	const perG = 20000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() { // concurrent reader
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := h.Snapshot()
+				_ = s.Quantile(0.99)
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		writers.Add(1)
+		go func(g int) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.Record(math.Exp(rng.Float64()*10 - 12))
+			}
+		}(g)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*perG {
+		t.Fatalf("lost observations: count=%d want %d", s.Count, goroutines*perG)
+	}
+	var bucketTotal uint64
+	for _, c := range s.Counts {
+		bucketTotal += c
+	}
+	if bucketTotal+s.Over != s.Count {
+		t.Fatalf("bucket sum %d + over %d != count %d", bucketTotal, s.Over, s.Count)
+	}
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// JobTrace is one sampled job's lifecycle: every stamp a placement
+// passes through from acceptance to its first simulated service instant.
+// Wall stamps measure the serving stack; sim stamps locate the job on
+// the simulated clock the decisions are made against.
+type JobTrace struct {
+	ID int `json:"id"`
+	// AcceptedWall is when Submit acknowledged the job; SubmitSim its
+	// arrival instant on the simulated clock.
+	AcceptedWall time.Time `json:"accepted_wall"`
+	SubmitSim    time.Time `json:"submit_sim"`
+	// BatchedRound/BatchedSim/BatchedWall stamp the first round that
+	// offered the job to the scheduler (zero until then).
+	BatchedRound int64     `json:"batched_round"`
+	BatchedSim   time.Time `json:"batched_sim,omitzero"`
+	BatchedWall  time.Time `json:"batched_wall,omitzero"`
+	// DecidedRound/DecidedWall stamp the round that placed the job;
+	// DeferredRounds counts the rounds that offered it without placing.
+	DecidedRound   int64     `json:"decided_round"`
+	DecidedWall    time.Time `json:"decided_wall,omitzero"`
+	DeferredRounds int       `json:"deferred_rounds"`
+	// Region/StartSim/FinishSim are the placement (first-served is
+	// StartSim: when a simulated server begins executing the job).
+	Region    string    `json:"region,omitempty"`
+	StartSim  time.Time `json:"start_sim,omitzero"`
+	FinishSim time.Time `json:"finish_sim,omitzero"`
+	// Done marks a completed trace (decided); an undecided trace is a
+	// job still queued, or abandoned at shutdown.
+	Done bool `json:"done"`
+}
+
+// JobTracer samples every Nth accepted job and records its lifecycle in
+// a bounded FIFO-evicted index. Sampling is a deterministic counter —
+// no RNG, no clock — so enabling it cannot perturb scheduling, and a
+// given workload samples the same ordinal positions every run. All
+// methods are cheap map operations; the tracer is called under the
+// server's round lock, so a plain mutex only guards the HTTP reader.
+//
+// A nil *JobTracer ignores every call and reports no traces.
+type JobTracer struct {
+	mu     sync.Mutex
+	every  int
+	cap    int
+	n      uint64 // accepted jobs seen (sampled when n % every == 0)
+	traces map[int]*JobTrace
+	fifo   []int
+}
+
+// NewJobTracer samples one of every `every` accepted jobs, retaining at
+// most cap traces (defaults 64 and 4096 when non-positive; every == 1
+// traces every job).
+func NewJobTracer(every, cap int) *JobTracer {
+	if every <= 0 {
+		every = 64
+	}
+	if cap <= 0 {
+		cap = 4096
+	}
+	return &JobTracer{every: every, cap: cap, traces: make(map[int]*JobTrace)}
+}
+
+// Accepted stamps a job's acceptance, sampling every Nth call. Returns
+// whether the job was sampled.
+func (t *JobTracer) Accepted(id int, wall time.Time, submitSim time.Time) bool {
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sampled := t.n%uint64(t.every) == 0
+	t.n++
+	if !sampled {
+		return false
+	}
+	if len(t.fifo) >= t.cap {
+		delete(t.traces, t.fifo[0])
+		t.fifo = t.fifo[1:]
+	}
+	t.traces[id] = &JobTrace{ID: id, AcceptedWall: wall, SubmitSim: submitSim}
+	t.fifo = append(t.fifo, id)
+	return true
+}
+
+// Batched stamps a sampled job's first offer to the scheduler and counts
+// re-offers of an already-batched job as deferrals. Unsampled ids are
+// ignored.
+func (t *JobTracer) Batched(id int, round int64, sim, wall time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.traces[id]
+	if !ok || jt.Done {
+		return
+	}
+	if jt.BatchedWall.IsZero() {
+		jt.BatchedRound, jt.BatchedSim, jt.BatchedWall = round, sim, wall
+		return
+	}
+	jt.DeferredRounds++
+}
+
+// Decided completes a sampled job's trace with its placement. Unsampled
+// ids are ignored.
+func (t *JobTracer) Decided(id int, round int64, wall time.Time, region string, start, finish time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.traces[id]
+	if !ok {
+		return
+	}
+	jt.DecidedRound, jt.DecidedWall = round, wall
+	jt.Region, jt.StartSim, jt.FinishSim = region, start, finish
+	if jt.DeferredRounds == 0 && !jt.BatchedWall.IsZero() && round > jt.BatchedRound {
+		// Rounds fire consecutively while jobs are pending, so the index
+		// gap is the number of rounds that re-offered the job undecided.
+		jt.DeferredRounds = int(round - jt.BatchedRound)
+	}
+	jt.Done = true
+}
+
+// Get returns a copy of the trace for id, if the job was sampled and
+// its trace has not been evicted.
+func (t *JobTracer) Get(id int) (JobTrace, bool) {
+	if t == nil {
+		return JobTrace{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	jt, ok := t.traces[id]
+	if !ok {
+		return JobTrace{}, false
+	}
+	return *jt, true
+}
+
+// SampleEvery reports the sampling stride (0 for a nil tracer).
+func (t *JobTracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return t.every
+}

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// AppendProm renders the snapshot as a Prometheus histogram family —
+// cumulative `name_bucket{le="..."}` series, `name_sum`, and
+// `name_count` — appended to b. labels is either empty or a
+// comma-joined `k="v"` list spliced into every series (the le label is
+// appended after it). Empty buckets between occupied ones are elided
+// (each le series is an independent time series, so a sparse set is
+// valid); the +Inf bucket always appears and equals _count.
+//
+// When withHeader is true the family's # HELP and # TYPE lines are
+// emitted first — callers rendering several labeled snapshots of one
+// family (per-shard series) emit the header once and pass false after.
+func (s *Snapshot) AppendProm(b []byte, name, help, labels string, withHeader bool) []byte {
+	if withHeader {
+		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s histogram\n", name, help, name)...)
+	}
+	series := func(suffix, extraLabel string, v string) []byte {
+		b := append([]byte(nil), name...)
+		b = append(b, suffix...)
+		if labels != "" || extraLabel != "" {
+			b = append(b, '{')
+			b = append(b, labels...)
+			if labels != "" && extraLabel != "" {
+				b = append(b, ',')
+			}
+			b = append(b, extraLabel...)
+			b = append(b, '}')
+		}
+		b = append(b, ' ')
+		b = append(b, v...)
+		b = append(b, '\n')
+		return b
+	}
+	var cum uint64
+	prevEmitted := false
+	for i, c := range s.Counts {
+		if c == 0 {
+			prevEmitted = false
+			continue
+		}
+		if !prevEmitted && i > 0 && cum > 0 {
+			// Re-anchor after an elided run so the scraper sees the
+			// cumulative floor just below this occupied bucket.
+			b = append(b, series("_bucket", fmt.Sprintf("le=%q", formatLE(boundaries[i-1])), strconv.FormatUint(cum, 10))...)
+		}
+		cum += c
+		b = append(b, series("_bucket", fmt.Sprintf("le=%q", formatLE(boundaries[i])), strconv.FormatUint(cum, 10))...)
+		prevEmitted = true
+	}
+	b = append(b, series("_bucket", `le="+Inf"`, strconv.FormatUint(s.Count, 10))...)
+	b = append(b, series("_sum", "", strconv.FormatFloat(s.Sum, 'g', -1, 64))...)
+	b = append(b, series("_count", "", strconv.FormatUint(s.Count, 10))...)
+	return b
+}
+
+// formatLE formats a bucket edge the way Prometheus clients do: shortest
+// float form, stable across renders so every scrape names identical
+// series.
+func formatLE(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// QuantileFromBuckets estimates the q-quantile from parsed cumulative
+// histogram buckets — the scrape-side counterpart of Snapshot.Quantile,
+// used by loadgen on a target's /metrics output. les must be ascending
+// upper edges with cumulative counts cums (the +Inf bucket last, its le
+// math.Inf(1)); interpolation within the holding bucket is linear.
+func QuantileFromBuckets(les []float64, cums []uint64, q float64) float64 {
+	if len(les) == 0 || len(les) != len(cums) {
+		return 0
+	}
+	total := cums[len(cums)-1]
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var prevCum uint64
+	var prevLE float64
+	for i, cum := range cums {
+		if float64(cum) >= rank && cum > prevCum {
+			hi := les[i]
+			if i == len(les)-1 && len(les) > 1 {
+				// +Inf bucket: report the last finite edge.
+				return prevLE
+			}
+			frac := (rank - float64(prevCum)) / float64(cum-prevCum)
+			if frac < 0 {
+				frac = 0
+			}
+			return prevLE + (hi-prevLE)*frac
+		}
+		prevCum, prevLE = cum, les[i]
+	}
+	return prevLE
+}

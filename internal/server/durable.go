@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"waterwise/internal/cluster"
+	"waterwise/internal/obs"
 	"waterwise/internal/region"
 	"waterwise/internal/trace"
 	"waterwise/internal/units"
@@ -473,18 +474,41 @@ func (s *Server) walSyncIfDirtyLocked() error {
 // a crash loses at most the last interval's rounds, every one of which
 // replay re-derives, and never a decision that was already served.
 // Called with mu held, after the round's decisions are in the ring.
-func (s *Server) walRoundLocked(k int64, ds []Decision) {
+//
+// rt, when non-nil, receives the round's durability stage timings
+// (append, fsync, snapshot) for the round trace; a nil rt skips every
+// clock read so the obs-off path pays nothing here.
+func (s *Server) walRoundLocked(k int64, ds []Decision, rt *obs.RoundTrace) {
+	var mark time.Time
+	if rt != nil {
+		mark = time.Now()
+	}
 	if s.walAppendLocked(encodeRoundRecord(k, s.decSeq, ds)) != nil {
 		return
 	}
+	if rt != nil {
+		rt.Stages[obs.StageWALAppend] = time.Since(mark)
+	}
 	if time.Since(s.lastWalSync) >= s.cfg.SyncInterval {
+		if rt != nil {
+			mark = time.Now()
+		}
 		if s.walSyncLocked() != nil {
 			return
+		}
+		if rt != nil {
+			rt.Stages[obs.StageWALFsync] = time.Since(mark)
 		}
 	}
 	s.sinceSnap++
 	if s.sinceSnap >= s.cfg.SnapshotEvery {
+		if rt != nil {
+			mark = time.Now()
+		}
 		_ = s.snapshotLocked()
+		if rt != nil {
+			rt.Stages[obs.StageSnapshot] = time.Since(mark)
+		}
 	}
 }
 

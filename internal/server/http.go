@@ -45,6 +45,9 @@ const (
 	PathDecisions = "/v1/decisions"
 	PathStatus    = "/v1/status"
 	PathMetrics   = "/metrics"
+	// PathRounds serves the slowest scheduling rounds' stage breakdowns;
+	// /v1/jobs/{id}/trace (under PathJobs) serves sampled job lifecycles.
+	PathRounds = "/v1/rounds/slowest"
 )
 
 // SubmitResponse is the POST /v1/jobs reply — shared with the fleet
@@ -65,13 +68,23 @@ type DecisionsResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs       — submit one JobSpec or an array of them
-//	GET  /v1/decisions  — decision log; ?since=<seq>&limit=<n>
-//	GET  /v1/status     — service snapshot
-//	GET  /metrics       — Prometheus text metrics
+//	POST /v1/jobs             — submit one JobSpec or an array of them
+//	GET  /v1/decisions        — decision log; ?since=<seq>&limit=<n>
+//	GET  /v1/status           — service snapshot
+//	GET  /metrics             — Prometheus text metrics
+//	GET  /v1/rounds/slowest   — slowest rounds' stage breakdowns; ?recent=<n>
+//	GET  /v1/jobs/{id}/trace  — sampled job lifecycle trace
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(PathJobs, JobsHandler(s.Submit))
+	mux.HandleFunc(PathJobs, s.timedIngest(JobsHandler(s.Submit)))
+	mux.HandleFunc(PathRounds, SlowestRoundsHandler(s.wireSlowest, s.wireRecent))
+	mux.HandleFunc(PathJobs+"/", JobTraceHandler(func(id int) (JobTraceResponse, bool) {
+		jt, ok := s.JobTrace(id)
+		if !ok {
+			return JobTraceResponse{}, false
+		}
+		return JobTraceResponse{Trace: jt, SampleEvery: s.JobSampleEvery()}, true
+	}))
 	mux.HandleFunc(PathDecisions, DecisionsHandler(func(since uint64, limit int) (interface{}, uint64) {
 		ds := s.Decisions(since, limit)
 		next := since

@@ -1,0 +1,391 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"waterwise/internal/milp"
+	"waterwise/internal/obs"
+)
+
+// ObsConfig parameterizes the server's observability layer (internal/obs):
+// latency histograms, the per-round trace ring, and sampled job lifecycle
+// traces. The zero value enables everything with defaults; Disable turns
+// the whole layer off (the obs-off arm of the overhead benchmark).
+type ObsConfig struct {
+	// Disable turns observability off entirely: no histograms, no round
+	// ring, no job traces; /v1/rounds/slowest and /v1/jobs/{id}/trace
+	// answer 404 and /metrics omits the histogram families.
+	Disable bool
+	// RoundRingSize bounds the recent-round trace ring (default 1024).
+	RoundRingSize int
+	// SlowestRounds bounds the slowest-round exemplar set (default 32).
+	SlowestRounds int
+	// JobSampleEvery samples one of every N accepted jobs for lifecycle
+	// tracing (default 64; 1 traces every job).
+	JobSampleEvery int
+	// JobTraceCap bounds retained job traces, evicted FIFO (default 4096).
+	JobTraceCap int
+}
+
+// serverObs bundles one server's recorders. acceptedWall and lastSolver
+// are guarded by the server mutex; the histograms, ring, and tracer have
+// their own synchronization (so the ingest handler records outside the
+// lock).
+type serverObs struct {
+	decision *obs.Histogram // Submit acceptance -> round commit, wall seconds
+	ingest   *obs.Histogram // POST /v1/jobs handler wall seconds
+	round    *obs.Histogram // total scheduling-round wall seconds
+	stages   [obs.NumStages]*obs.Histogram
+	ring     *obs.RoundRing
+	jobs     *obs.JobTracer
+	// acceptedWall stamps each queued job's acceptance for the decision
+	// latency histogram (removed on decide or abandon).
+	acceptedWall map[int]time.Time
+	// lastSolver is the previous round's cumulative solver stats, diffed
+	// for per-round trace attribution.
+	lastSolver milp.Stats
+}
+
+func newServerObs(cfg ObsConfig) *serverObs {
+	o := &serverObs{
+		decision:     &obs.Histogram{},
+		ingest:       &obs.Histogram{},
+		round:        &obs.Histogram{},
+		ring:         obs.NewRoundRing(cfg.RoundRingSize, cfg.SlowestRounds),
+		jobs:         obs.NewJobTracer(cfg.JobSampleEvery, cfg.JobTraceCap),
+		acceptedWall: make(map[int]time.Time),
+	}
+	for i := range o.stages {
+		o.stages[i] = &obs.Histogram{}
+	}
+	return o
+}
+
+// recordRound feeds one completed round's trace into the histograms and
+// the ring. Stages that did not run this round (no WAL, no fsync due, no
+// snapshot) are zero and skipped, so each stage histogram's count is the
+// number of rounds that actually exercised it.
+func (o *serverObs) recordRound(rt obs.RoundTrace) {
+	o.round.Record(rt.Total.Seconds())
+	for st, d := range rt.Stages {
+		if d > 0 || obs.Stage(st) == obs.StageSolve {
+			o.stages[st].Record(d.Seconds())
+		}
+	}
+	o.ring.Record(rt)
+}
+
+// ObsSummary is the quantile digest of the server's latency histograms,
+// served in Status — the numbers the bench harness gates on without
+// parsing the full /metrics exposition.
+type ObsSummary struct {
+	// Decision latency: Submit acceptance to round commit, wall clock.
+	DecisionP50Ms  float64 `json:"decision_latency_p50_ms"`
+	DecisionP99Ms  float64 `json:"decision_latency_p99_ms"`
+	DecisionP999Ms float64 `json:"decision_latency_p999_ms"`
+	DecisionCount  uint64  `json:"decision_latency_count"`
+	// Round wall time and its solve stage (the Fig. 13 overhead, now as
+	// a distribution rather than the deprecated running mean).
+	RoundP50Ms float64 `json:"round_p50_ms"`
+	RoundP99Ms float64 `json:"round_p99_ms"`
+	SolveP50Ms float64 `json:"solve_p50_ms"`
+	SolveP99Ms float64 `json:"solve_p99_ms"`
+	// Ingest handler wall time.
+	IngestP99Ms float64 `json:"ingest_p99_ms"`
+	// JobSampleEvery echoes the lifecycle-trace sampling stride.
+	JobSampleEvery int `json:"job_sample_every"`
+}
+
+// ObsSnapshots is the mergeable counter export of one server's
+// histograms — what the fleet gateway sums across shards into
+// fleet-level distributions.
+type ObsSnapshots struct {
+	Decision obs.Snapshot
+	Ingest   obs.Snapshot
+	Round    obs.Snapshot
+	Stages   [obs.NumStages]obs.Snapshot
+}
+
+// Merge folds other's counters into s.
+func (s *ObsSnapshots) Merge(other *ObsSnapshots) {
+	if other == nil {
+		return
+	}
+	s.Decision.Merge(other.Decision)
+	s.Ingest.Merge(other.Ingest)
+	s.Round.Merge(other.Round)
+	for i := range s.Stages {
+		s.Stages[i].Merge(other.Stages[i])
+	}
+}
+
+// Summary digests the snapshots into the Status quantiles.
+func (s *ObsSnapshots) Summary(sampleEvery int) *ObsSummary {
+	dec := s.Decision
+	rnd := s.Round
+	slv := s.Stages[obs.StageSolve]
+	ing := s.Ingest
+	ms := func(sec float64) float64 { return sec * 1e3 }
+	return &ObsSummary{
+		DecisionP50Ms:  ms(dec.Quantile(0.50)),
+		DecisionP99Ms:  ms(dec.Quantile(0.99)),
+		DecisionP999Ms: ms(dec.Quantile(0.999)),
+		DecisionCount:  dec.Count,
+		RoundP50Ms:     ms(rnd.Quantile(0.50)),
+		RoundP99Ms:     ms(rnd.Quantile(0.99)),
+		SolveP50Ms:     ms(slv.Quantile(0.50)),
+		SolveP99Ms:     ms(slv.Quantile(0.99)),
+		IngestP99Ms:    ms(ing.Quantile(0.99)),
+		JobSampleEvery: sampleEvery,
+	}
+}
+
+// AppendObsMetrics renders the observability histograms in Prometheus
+// text format: <prefix>decision_latency_seconds,
+// <prefix>ingest_request_seconds, <prefix>round_duration_seconds, and
+// <prefix>round_stage_seconds{stage=...}. labels is spliced into every
+// series (empty for the single server, shard="N" through the fleet);
+// withHeader emits the # HELP/# TYPE lines — the fleet passes true for
+// the first shard only, so each family has exactly one header. Shared
+// by the single server's /metrics, the fleet's per-shard series, and
+// the fleet's merged distributions (prefix "waterwise_fleet_").
+func AppendObsMetrics(b []byte, snaps *ObsSnapshots, prefix, labels string, withHeader bool) []byte {
+	if snaps == nil {
+		return b
+	}
+	b = snaps.Decision.AppendProm(b, prefix+"decision_latency_seconds",
+		"Server-side decision latency: Submit acceptance to round commit (wall seconds).", labels, withHeader)
+	b = snaps.Ingest.AppendProm(b, prefix+"ingest_request_seconds",
+		"POST /v1/jobs handler wall time in seconds.", labels, withHeader)
+	b = snaps.Round.AppendProm(b, prefix+"round_duration_seconds",
+		"Scheduling round wall time in seconds, all stages.", labels, withHeader)
+	stageHelp := "Per-stage round wall time in seconds; solve is Fig. 13's scheduler invocation cost."
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		stageLabel := fmt.Sprintf("stage=%q", st.String())
+		if labels != "" {
+			stageLabel = labels + "," + stageLabel
+		}
+		snap := snaps.Stages[st]
+		b = snap.AppendProm(b, prefix+"round_stage_seconds", stageHelp, stageLabel, withHeader && st == 0)
+	}
+	return b
+}
+
+// ObsSnapshots exports the server's histogram counters for merging and
+// rendering; nil when observability is disabled.
+func (s *Server) ObsSnapshots() *ObsSnapshots {
+	if s.obs == nil {
+		return nil
+	}
+	out := &ObsSnapshots{
+		Decision: s.obs.decision.Snapshot(),
+		Ingest:   s.obs.ingest.Snapshot(),
+		Round:    s.obs.round.Snapshot(),
+	}
+	for i, h := range s.obs.stages {
+		out.Stages[i] = h.Snapshot()
+	}
+	return out
+}
+
+// SlowestRounds returns the slowest scheduling rounds recorded so far,
+// slowest first (nil when observability is disabled).
+func (s *Server) SlowestRounds() []obs.RoundTrace {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.ring.Slowest()
+}
+
+// RecentRounds returns up to n of the latest rounds' traces, newest
+// first (nil when observability is disabled; n <= 0 means all retained).
+func (s *Server) RecentRounds(n int) []obs.RoundTrace {
+	if s.obs == nil {
+		return nil
+	}
+	return s.obs.ring.Recent(n)
+}
+
+// JobSampleEvery reports the lifecycle-trace sampling stride (0 when
+// observability is disabled).
+func (s *Server) JobSampleEvery() int {
+	if s.obs == nil {
+		return 0
+	}
+	return s.obs.jobs.SampleEvery()
+}
+
+// JobTrace returns the sampled lifecycle trace for a job id, if the job
+// was sampled and its trace has not been evicted.
+func (s *Server) JobTrace(id int) (obs.JobTrace, bool) {
+	if s.obs == nil {
+		return obs.JobTrace{}, false
+	}
+	return s.obs.jobs.Get(id)
+}
+
+// RoundTraceWire is the JSON form of one round trace served by
+// /v1/rounds/slowest: durations in milliseconds, stages keyed by name,
+// and — through the fleet gateway — the owning shard.
+type RoundTraceWire struct {
+	Shard        *int               `json:"shard,omitempty"`
+	Index        int64              `json:"index"`
+	Sim          time.Time          `json:"sim"`
+	Wall         time.Time          `json:"wall"`
+	TotalMs      float64            `json:"total_ms"`
+	StagesMs     map[string]float64 `json:"stages_ms"`
+	Batch        int                `json:"batch"`
+	Decided      int                `json:"decided"`
+	Nodes        int                `json:"nodes"`
+	SimplexIters int                `json:"simplex_iters"`
+	WarmStarts   int                `json:"warm_starts"`
+	ColdStarts   int                `json:"cold_starts"`
+}
+
+// WireRoundTrace converts a round trace to its wire form. Zero-duration
+// stages are omitted from the map — a stage that did not run would read
+// as "instant" otherwise.
+func WireRoundTrace(rt obs.RoundTrace) RoundTraceWire {
+	stages := make(map[string]float64, obs.NumStages)
+	for st := obs.Stage(0); st < obs.NumStages; st++ {
+		if d := rt.Stages[st]; d > 0 || st == obs.StageSolve {
+			stages[st.String()] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	return RoundTraceWire{
+		Index: rt.Index, Sim: rt.Sim, Wall: rt.Wall,
+		TotalMs:  float64(rt.Total) / float64(time.Millisecond),
+		StagesMs: stages,
+		Batch:    rt.Batch, Decided: rt.Decided,
+		Nodes: rt.Nodes, SimplexIters: rt.SimplexIters,
+		WarmStarts: rt.WarmStarts, ColdStarts: rt.ColdStarts,
+	}
+}
+
+// RoundsResponse is the GET /v1/rounds/slowest reply.
+type RoundsResponse struct {
+	// Slowest holds the slowest-round exemplars, slowest first.
+	Slowest []RoundTraceWire `json:"slowest"`
+	// Recent holds the latest rounds, newest first (only with ?recent=N).
+	Recent []RoundTraceWire `json:"recent,omitempty"`
+}
+
+// SlowestRoundsHandler builds the GET /v1/rounds/slowest handler over
+// trace fetchers — shared by the single server and the fleet gateway's
+// shard-merged view. fetch returns the slowest exemplars; recent returns
+// the latest n rounds (both may return nil when observability is off,
+// which serves as 404).
+func SlowestRoundsHandler(fetch func() []RoundTraceWire, recent func(n int) []RoundTraceWire) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			WriteJSON(w, http.StatusMethodNotAllowed, SubmitResponse{Error: "GET only"})
+			return
+		}
+		resp := RoundsResponse{Slowest: fetch()}
+		if resp.Slowest == nil {
+			WriteJSON(w, http.StatusNotFound, SubmitResponse{Error: "observability disabled"})
+			return
+		}
+		if v := r.URL.Query().Get("recent"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				WriteJSON(w, http.StatusBadRequest, SubmitResponse{Error: "bad recent"})
+				return
+			}
+			resp.Recent = recent(n)
+		}
+		WriteJSON(w, http.StatusOK, resp)
+	}
+}
+
+// ErrNoTrace reports a job id with no retained lifecycle trace: the job
+// was not sampled, its trace was evicted, or observability is disabled.
+var ErrNoTrace = errors.New("server: no trace for job")
+
+// JobTraceResponse is the GET /v1/jobs/{id}/trace reply.
+type JobTraceResponse struct {
+	// Shard identifies the owning shard through the fleet gateway.
+	Shard *int         `json:"shard,omitempty"`
+	Trace obs.JobTrace `json:"trace"`
+	// SampleEvery echoes the sampling stride, so a 404 is interpretable:
+	// roughly one of every SampleEvery accepted jobs has a trace.
+	SampleEvery int `json:"sample_every"`
+}
+
+// JobTraceHandler builds the GET /v1/jobs/{id}/trace handler over a
+// lookup — the single server's tracer, or the gateway's scan across
+// shard tracers. Unknown or unsampled ids are 404.
+func JobTraceHandler(lookup func(id int) (JobTraceResponse, bool)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			WriteJSON(w, http.StatusMethodNotAllowed, SubmitResponse{Error: "GET only"})
+			return
+		}
+		rest, ok := strings.CutPrefix(r.URL.Path, PathJobs+"/")
+		if !ok {
+			WriteJSON(w, http.StatusNotFound, SubmitResponse{Error: "not found"})
+			return
+		}
+		idStr, tail, _ := strings.Cut(rest, "/")
+		id, err := strconv.Atoi(idStr)
+		if err != nil || tail != "trace" {
+			WriteJSON(w, http.StatusNotFound, SubmitResponse{Error: "want /v1/jobs/{id}/trace"})
+			return
+		}
+		resp, found := lookup(id)
+		if !found {
+			WriteJSON(w, http.StatusNotFound, SubmitResponse{Error: ErrNoTrace.Error() + " " + idStr})
+			return
+		}
+		WriteJSON(w, http.StatusOK, resp)
+	}
+}
+
+// wireSlowest adapts the server's ring to the wire form ([] when the
+// ring is empty but observability is on, nil when off — the handler's
+// 404 signal).
+func (s *Server) wireSlowest() []RoundTraceWire {
+	if s.obs == nil {
+		return nil
+	}
+	rts := s.obs.ring.Slowest()
+	out := make([]RoundTraceWire, len(rts))
+	for i, rt := range rts {
+		out[i] = WireRoundTrace(rt)
+	}
+	return out
+}
+
+func (s *Server) wireRecent(n int) []RoundTraceWire {
+	if s.obs == nil {
+		return nil
+	}
+	rts := s.obs.ring.Recent(n)
+	out := make([]RoundTraceWire, len(rts))
+	for i, rt := range rts {
+		out[i] = WireRoundTrace(rt)
+	}
+	return out
+}
+
+// timedIngest wraps the jobs handler to record its wall time into the
+// ingest histogram — measured around the whole request (decode, submit
+// loop, response write), outside the server lock.
+func (s *Server) timedIngest(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.obs == nil || r.Method != http.MethodPost {
+			h(w, r)
+			return
+		}
+		t0 := time.Now()
+		h(w, r)
+		s.obs.ingest.Record(time.Since(t0).Seconds())
+	}
+}

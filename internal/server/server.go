@@ -31,6 +31,7 @@ import (
 	"waterwise/internal/feed"
 	"waterwise/internal/footprint"
 	"waterwise/internal/milp"
+	"waterwise/internal/obs"
 	"waterwise/internal/region"
 	"waterwise/internal/trace"
 	"waterwise/internal/transfer"
@@ -90,6 +91,10 @@ type Config struct {
 	// re-submits idempotent after a restart (default 262144 entries,
 	// evicted FIFO).
 	DedupeCap int
+	// Obs configures the observability layer — latency histograms, the
+	// per-round trace ring, sampled job lifecycle traces (see ObsConfig).
+	// Measurement only: enabling or disabling it never changes decisions.
+	Obs ObsConfig
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -227,7 +232,14 @@ type Status struct {
 	Free map[region.ID]int `json:"free"`
 	// RoundOverheadMeanMs is the mean scheduler invocation cost (Fig. 13's
 	// quantity) across all rounds so far.
+	//
+	// Deprecated: a running mean hides the tail. Use Obs (histogram-backed
+	// quantiles) or the waterwise_round_stage_seconds{stage="solve"}
+	// histogram on /metrics; the field stays for existing dashboards.
 	RoundOverheadMeanMs float64 `json:"round_overhead_mean_ms"`
+	// Obs digests the observability histograms — decision latency, round
+	// and solve time quantiles — when the layer is enabled.
+	Obs *ObsSummary `json:"obs,omitempty"`
 	// Solver carries branch-and-bound instrumentation when the scheduler
 	// exposes it (the WaterWise controller does).
 	Solver *milp.Stats `json:"solver,omitempty"`
@@ -303,6 +315,9 @@ type Server struct {
 	unscheduled                         int
 	overheadSum                         time.Duration
 
+	// obs is the observability layer (nil when Config.Obs.Disable).
+	obs *serverObs
+
 	// Durability (nil/zero without Config.DataDir): the write-ahead log,
 	// the group-commit and snapshot cadence state, and what the restart
 	// path recovered.
@@ -349,6 +364,9 @@ func New(cfg Config) (*Server, error) {
 		loopDone:   make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if !cfg.Obs.Disable {
+		s.obs = newServerObs(cfg.Obs)
+	}
 	if cfg.DataDir != "" {
 		if err := s.openDurable(); err != nil {
 			return nil, err
@@ -441,6 +459,11 @@ func (s *Server) Submit(spec JobSpec) (int, error) {
 	s.live[job.ID] = digest
 	heap.Push(&s.future, job)
 	s.accepted++
+	if s.obs != nil {
+		acceptWall := time.Now()
+		s.obs.acceptedWall[job.ID] = acceptWall
+		s.obs.jobs.Accepted(job.ID, acceptWall, job.Submit)
+	}
 	s.cond.Broadcast() // wake an idle accelerated loop
 	return job.ID, nil
 }
@@ -546,6 +569,9 @@ func (s *Server) Stop() {
 func (s *Server) abandonLocked() {
 	for _, j := range s.sim.Abandon() {
 		delete(s.live, j.ID)
+		if s.obs != nil {
+			delete(s.obs.acceptedWall, j.ID)
+		}
 		s.unscheduled++
 	}
 }
@@ -699,6 +725,17 @@ func (s *Server) Status() Status {
 	if s.rounds > 0 {
 		st.RoundOverheadMeanMs = float64(s.overheadSum.Microseconds()) / 1000 / float64(s.rounds)
 	}
+	if s.obs != nil {
+		snaps := &ObsSnapshots{
+			Decision: s.obs.decision.Snapshot(),
+			Ingest:   s.obs.ingest.Snapshot(),
+			Round:    s.obs.round.Snapshot(),
+		}
+		for i, h := range s.obs.stages {
+			snaps.Stages[i] = h.Snapshot()
+		}
+		st.Obs = snaps.Summary(s.obs.jobs.SampleEvery())
+	}
 	if ss, ok := s.cfg.Scheduler.(solverStatser); ok {
 		stats := ss.SolverStats()
 		st.Solver = &stats
@@ -815,9 +852,22 @@ func (s *Server) roundLocked() {
 	now := s.cfg.Env.Start.Add(time.Duration(k) * s.cfg.Round)
 	s.simNow = now
 	s.nextK++
+	// Observability is measurement only: every ob-guarded block below
+	// reads clocks and counters but feeds nothing back into scheduling.
+	ob := s.obs
+	var rt obs.RoundTrace
+	if ob != nil {
+		rt.Index, rt.Sim, rt.Wall = k, now, time.Now()
+	}
 	for len(s.future) > 0 && !s.future[0].Submit.After(now) {
 		job := heap.Pop(&s.future).(*trace.Job)
 		s.sim.Submit(job, now)
+		if ob != nil {
+			ob.jobs.Batched(job.ID, k, now, rt.Wall)
+		}
+	}
+	if ob != nil {
+		rt.Stages[obs.StageIngest] = time.Since(rt.Wall)
 	}
 	if !now.Before(s.cfg.Env.End()) {
 		// The service clock ran off the environment horizon (possible only
@@ -833,14 +883,21 @@ func (s *Server) roundLocked() {
 		s.cond.Broadcast()
 		return
 	}
+	if ob != nil {
+		rt.Batch = s.sim.Pending()
+	}
 	t0 := time.Now()
 	outcomes, err := s.sim.Step(now)
-	s.overheadSum += time.Since(t0)
+	solve := time.Since(t0)
+	s.overheadSum += solve
 	s.rounds++
 	if err != nil {
 		s.runErr = err
 		s.cond.Broadcast()
 		return
+	}
+	if ob != nil {
+		rt.Stages[obs.StageSolve] = solve
 	}
 	wall := time.Now()
 	var roundDecs []Decision
@@ -863,12 +920,41 @@ func (s *Server) roundLocked() {
 		if roundDecs != nil {
 			roundDecs = append(roundDecs, d)
 		}
+		if ob != nil {
+			if aw, tracked := ob.acceptedWall[o.Job.ID]; tracked {
+				ob.decision.Record(wall.Sub(aw).Seconds())
+				delete(ob.acceptedWall, o.Job.ID)
+			}
+			ob.jobs.Decided(o.Job.ID, k, wall, string(o.Region), o.Start, o.Finish)
+		}
+	}
+	if ob != nil {
+		rt.Stages[obs.StagePublish] = time.Since(wall)
+		rt.Decided = len(outcomes)
 	}
 	if s.wlog != nil {
 		// Group-commit the round (decisions included even when the batch
 		// was fully deferred: deferral counters feed the urgency score, so
 		// a zero-decision stepped round still must replay).
-		s.walRoundLocked(k, roundDecs)
+		var rtp *obs.RoundTrace
+		if ob != nil {
+			rtp = &rt
+		}
+		s.walRoundLocked(k, roundDecs, rtp)
+	}
+	if ob != nil {
+		rt.Total = time.Since(rt.Wall)
+		if ss, ok := s.cfg.Scheduler.(solverStatser); ok {
+			// Per-round solver deltas: the cumulative stats minus the
+			// previous round's, so a slow round shows its own node count.
+			stats := ss.SolverStats()
+			rt.Nodes = stats.Nodes - ob.lastSolver.Nodes
+			rt.SimplexIters = stats.SimplexIters - ob.lastSolver.SimplexIters
+			rt.WarmStarts = stats.WarmStarts - ob.lastSolver.WarmStarts
+			rt.ColdStarts = stats.ColdStarts - ob.lastSolver.ColdStarts
+			ob.lastSolver = stats
+		}
+		ob.recordRound(rt)
 	}
 	s.cond.Broadcast()
 }

@@ -470,6 +470,12 @@ type (
 	// WALStatus is the durability block of ServerStatus (log sizing,
 	// fsync stalls, recovery cost); nil when DataDir is unset.
 	WALStatus = server.WALStatus
+	// ObsConfig tunes the observability layer (trace-ring bounds, job
+	// sampling stride, or disabling it for overhead measurement).
+	ObsConfig = server.ObsConfig
+	// ObsSummary is the observability digest in ServerStatus/FleetStatus:
+	// histogram-backed decision latency and round time quantiles.
+	ObsSummary = server.ObsSummary
 )
 
 // ErrQueueFull is the online service's backpressure rejection.
@@ -508,6 +514,10 @@ type ServerConfig struct {
 	// SnapshotEvery is the snapshot cadence in scheduling rounds
 	// (0 = default 256). Only meaningful with DataDir.
 	SnapshotEvery int
+	// Obs tunes the observability layer — latency histograms, round
+	// traces, sampled job lifecycles (enabled by default; Obs.Disable
+	// turns it off). Measurement only: never affects decisions.
+	Obs ObsConfig
 }
 
 // NewServer builds the online scheduling service over an environment and a
@@ -521,6 +531,7 @@ func NewServer(env *Environment, s Scheduler, cfg ServerConfig) (*Server, error)
 		Tolerance: cfg.Tolerance, Round: cfg.Round, TimeScale: cfg.TimeScale,
 		QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
 		DataDir: cfg.DataDir, SnapshotEvery: cfg.SnapshotEvery,
+		Obs: cfg.Obs,
 	})
 }
 
@@ -574,6 +585,8 @@ type FleetConfig struct {
 	// SnapshotEvery is each shard's snapshot cadence in rounds
 	// (0 = default 256). Only meaningful with DataDir.
 	SnapshotEvery int
+	// Obs tunes every shard's observability layer (see ServerConfig.Obs).
+	Obs ObsConfig
 }
 
 // NewFleet builds the sharded serving fleet over an environment. Call
@@ -591,6 +604,7 @@ func NewFleet(env *Environment, cfg FleetConfig) (*Fleet, error) {
 		Tolerance: cfg.Tolerance, Round: cfg.Round, TimeScale: cfg.TimeScale,
 		QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
 		DataDir: cfg.DataDir, SnapshotEvery: cfg.SnapshotEvery,
+		Obs: cfg.Obs,
 	})
 }
 

@@ -35,6 +35,11 @@
 //	           replayed submit dedupes server-side instead of
 //	           double-scheduling              (default 2)
 //	-seed      generator seed                (default 7)
+//	-id-base   base for client-assigned job ids; 0 derives one
+//	           from the wall clock so successive runs against a
+//	           long-lived daemon never collide. Set it explicitly
+//	           (with -seed) for a bit-reproducible run against a
+//	           fresh daemon.                 (default 0)
 //	-json      machine-readable report
 package main
 
@@ -116,6 +121,7 @@ func run() error {
 		drain      = flag.Duration("drain", 30*time.Second, "extra wait for in-flight decisions")
 		retries    = flag.Int("retries", 2, "extra POST attempts per batch on connection errors or 5xx")
 		seed       = flag.Int64("seed", 7, "generator seed")
+		idBaseFlag = flag.Int("id-base", 0, "base for client-assigned job ids (0: derive from the wall clock)")
 		jsonOut    = flag.Bool("json", false, "emit a JSON report")
 		coGapMs    = flag.Float64("co-gap-ms", 250, "flag a coordinated-omission gap (client p99 - server p99) above this many ms")
 	)
@@ -190,11 +196,17 @@ func run() error {
 		return err
 	}
 	compress := float64(*duration) / float64(genWindow)
-	// Client-assigned ids: the trace's ids offset by a wall-derived base,
-	// so consecutive loadgen runs against one long-lived daemon never
+	// Client-assigned ids: the trace's ids offset by a base, so
+	// consecutive loadgen runs against one long-lived daemon never
 	// re-present an id from an earlier run. Within a run the ids are what
 	// make retries idempotent (the service dedupes a replayed submit).
-	idBase := int(time.Now().UnixMicro())
+	// The default wall-derived base is what makes back-to-back runs safe;
+	// -id-base pins it so a run is bit-reproducible (same -seed, same
+	// -id-base, fresh daemon => identical submitted ids).
+	idBase := *idBaseFlag
+	if idBase == 0 {
+		idBase = int(time.Now().UnixMicro())
+	}
 
 	// Latency matching is keyed by (target, job id): standalone shards
 	// each mint ids from zero, so a bare id is ambiguous across targets.

@@ -1,0 +1,133 @@
+// Command scenario runs declarative chaos scenarios against an
+// in-process fleet: a spec names an arrival program, a timed fault
+// schedule (feed outages, 429 storms, shard kills, queue squeezes, slow
+// fsync), and the SLOs the run must hold. Results append into a
+// machine-readable report file (BENCH_SCENARIOS.json) keyed by scenario
+// name, so successive runs stay comparable.
+//
+// Usage:
+//
+//	scenario -list
+//	scenario -run shard-kill [-out BENCH_SCENARIOS.json]
+//	scenario -run all
+//	scenario -spec my-scenario.json
+//
+//	-list   print the bundled scenario catalogue and exit
+//	-run    bundled scenario name, or "all" for the whole catalogue
+//	-spec   path to a spec JSON file (alternative to -run)
+//	-out    report file to merge results into (default BENCH_SCENARIOS.json;
+//	        "" skips writing)
+//	-v      log fault schedule transitions as they fire
+//
+// The exit status is non-zero if any scenario fails its SLOs or the
+// harness itself errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"waterwise/internal/scenario"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scenario:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list    = flag.Bool("list", false, "print the bundled scenario catalogue and exit")
+		name    = flag.String("run", "", `bundled scenario name, or "all"`)
+		specLoc = flag.String("spec", "", "path to a spec JSON file")
+		out     = flag.String("out", scenario.ReportPath, `report file to merge results into ("" skips writing)`)
+		verbose = flag.Bool("v", false, "log fault transitions as they fire")
+	)
+	flag.Parse()
+
+	if *list {
+		specs, err := scenario.Bundled()
+		if err != nil {
+			return err
+		}
+		for _, s := range specs {
+			fmt.Printf("%-16s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+
+	var specs []scenario.Spec
+	switch {
+	case *name != "" && *specLoc != "":
+		return fmt.Errorf("-run and -spec are mutually exclusive")
+	case *name == "all":
+		all, err := scenario.Bundled()
+		if err != nil {
+			return err
+		}
+		specs = all
+	case *name != "":
+		s, err := scenario.Lookup(*name)
+		if err != nil {
+			return err
+		}
+		specs = []scenario.Spec{s}
+	case *specLoc != "":
+		b, err := os.ReadFile(*specLoc)
+		if err != nil {
+			return err
+		}
+		s, err := scenario.Parse(b)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *specLoc, err)
+		}
+		specs = []scenario.Spec{s}
+	default:
+		return fmt.Errorf("nothing to do: pass -list, -run NAME, or -spec FILE")
+	}
+
+	opt := scenario.RunOptions{}
+	if *verbose {
+		opt.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+
+	failed := 0
+	for _, s := range specs {
+		rep, err := scenario.Run(s, opt)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		verdict := "PASS"
+		if !rep.Pass {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%s %-16s %d jobs, %d merged decisions, %d restarts, %.0fms wall\n",
+			verdict, rep.Scenario, rep.Jobs, rep.Merged, rep.Restarts, rep.WallMs)
+		for _, c := range rep.Checks {
+			mark := "ok"
+			if !c.Ok {
+				mark = "FAIL"
+			}
+			fmt.Printf("  %-4s %-24s value %g bound %g", mark, c.Name, c.Value, c.Bound)
+			if c.Detail != "" {
+				fmt.Printf("  (%s)", c.Detail)
+			}
+			fmt.Println()
+		}
+		if *out != "" {
+			if err := scenario.WriteReports(*out, *rep); err != nil {
+				return err
+			}
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenarios failed their SLOs", failed, len(specs))
+	}
+	return nil
+}

@@ -82,10 +82,24 @@ type Config struct {
 	// SnapshotEvery is each shard's snapshot cadence in rounds
 	// (server.Config.SnapshotEvery; 0 means the server default).
 	SnapshotEvery int
+	// SyncInterval is each shard's WAL group-commit bound
+	// (server.Config.SyncInterval; 0 means the server default). The
+	// scenario harness tightens it so accelerated runs sync every round.
+	SyncInterval time.Duration
 	// Obs configures every shard's observability layer (server.Config.Obs).
 	// The gateway merges the shard histograms into fleet-level
 	// distributions and serves fleet-wide round and job trace views.
 	Obs server.ObsConfig
+	// WALSyncDelay is handed to every shard's write-ahead log as its fsync
+	// latency hook (server.Config.WALSyncDelay) — the scenario harness's
+	// slow-disk fault. Nil adds nothing; ignored without DataDir.
+	WALSyncDelay func() time.Duration
+	// Supervisor enables the fleet watchdog: a goroutine that detects dead
+	// shards (killed, crashed, or round-loop failures) and drives
+	// RestartShard with capped exponential backoff. Nil disables
+	// supervision — shards stay dead until RestartShard is called
+	// externally, the pre-supervisor behavior.
+	Supervisor *SupervisorConfig
 }
 
 // Decision is one merged placement: a shard's decision re-stamped with
@@ -134,9 +148,12 @@ type Status struct {
 	// Feed reports the one environment feed every shard reads (shards
 	// share the provider through their partition views, so there is a
 	// single health record fleet-wide).
-	Feed        *feed.Health  `json:"feed,omitempty"`
-	Err         string        `json:"err,omitempty"`
-	ShardStatus []ShardStatus `json:"shard_status"`
+	Feed *feed.Health `json:"feed,omitempty"`
+	// Supervisor reports the watchdog's view of every shard — restart
+	// counts, strike counts, backoff state. Nil when supervision is off.
+	Supervisor  *SupervisorStatus `json:"supervisor,omitempty"`
+	Err         string            `json:"err,omitempty"`
+	ShardStatus []ShardStatus     `json:"shard_status"`
 }
 
 // Fleet runs N scheduler shards behind one gateway. Construct with New,
@@ -169,6 +186,10 @@ type Fleet struct {
 	// the fleet here, not through shard HTTP, so the gateway owns the
 	// ingest histogram; nil when Config.Obs.Disable).
 	ingest *obs.Histogram
+
+	// sup is the watchdog (nil when Config.Supervisor is nil); its
+	// per-shard slices are guarded by mu like dead and buffered.
+	sup *supervisor
 }
 
 // partition assigns every region of env to a shard: pinned regions first,
@@ -248,6 +269,9 @@ func New(cfg Config) (*Fleet, error) {
 	if !cfg.Obs.Disable {
 		f.ingest = &obs.Histogram{}
 	}
+	if cfg.Supervisor != nil {
+		f.sup = newSupervisor(*cfg.Supervisor, cfg.Shards)
+	}
 	for s, p := range parts {
 		for _, id := range p {
 			f.owner[id] = s
@@ -283,7 +307,8 @@ func (f *Fleet) buildShard(s int) (*server.Server, error) {
 		Round: f.cfg.Round, TimeScale: f.cfg.TimeScale,
 		QueueCap: f.cfg.QueueCap, DecisionLogCap: f.cfg.DecisionLogCap,
 		DataDir: dir, SnapshotEvery: f.cfg.SnapshotEvery,
-		Obs: f.cfg.Obs,
+		SyncInterval: f.cfg.SyncInterval,
+		Obs:          f.cfg.Obs, WALSyncDelay: f.cfg.WALSyncDelay,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fleet: building shard %d: %w", s, err)
@@ -440,7 +465,8 @@ func (f *Fleet) RestartShard(i int) error {
 	return firstErr
 }
 
-// Start launches every shard's round loop.
+// Start launches every shard's round loop (and the supervisor, when
+// configured).
 func (f *Fleet) Start() {
 	f.mu.Lock()
 	f.started = true
@@ -449,12 +475,16 @@ func (f *Fleet) Start() {
 	for _, s := range shards {
 		s.Start()
 	}
+	f.startSupervisor()
 }
 
-// Stop halts every shard (concurrently — a shard mid-drain must not delay
-// the others' shutdown), then pulls the final decisions into the merged
-// log. Idempotent.
+// Stop halts the supervisor first (so the deliberate shutdown below is
+// not mistaken for a fleet-wide crash and "repaired"), then every shard
+// (concurrently — a shard mid-drain must not delay the others'
+// shutdown), then pulls the final decisions into the merged log.
+// Idempotent.
 func (f *Fleet) Stop() {
+	f.stopSupervisor()
 	var wg sync.WaitGroup
 	for _, s := range f.shardList() {
 		wg.Add(1)
@@ -629,6 +659,7 @@ func (f *Fleet) Status() Status {
 	f.mergeLocked()
 	st.Merged = f.seq
 	st.Lost = f.lost
+	st.Supervisor = f.supervisorStatusLocked()
 	f.mu.Unlock()
 	for i, s := range shards {
 		ss := s.Status()

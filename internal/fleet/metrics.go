@@ -37,6 +37,18 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	b = append(b, fmt.Sprintf("waterwise_fleet_merged_decisions_total %d\n", st.Merged)...)
 	head("waterwise_fleet_lost_decisions_total", "counter", "Decisions evicted from a shard ring before the merge read them.")
 	b = append(b, fmt.Sprintf("waterwise_fleet_lost_decisions_total %d\n", st.Lost)...)
+	if st.Supervisor != nil {
+		head("waterwise_fleet_restarts_total", "counter", "Supervisor-driven shard restarts.")
+		b = append(b, fmt.Sprintf("waterwise_fleet_restarts_total %d\n", st.Supervisor.Restarts)...)
+		head("waterwise_fleet_shard_up", "gauge", "1 while the shard's round loop is serving, 0 while dead or restarting.")
+		for _, ss := range st.Supervisor.Shards {
+			up := 1
+			if ss.State != "up" {
+				up = 0
+			}
+			row("waterwise_fleet_shard_up", ss.Shard, float64(up))
+		}
+	}
 
 	perShard := []struct {
 		name, typ, help string
@@ -58,8 +70,6 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			func(s ShardStatus) float64 { return float64(s.Future) }},
 		{"waterwise_queue_cap", "gauge", "Ingest queue capacity (backpressure threshold).",
 			func(s ShardStatus) float64 { return float64(s.QueueCap) }},
-		{"waterwise_round_overhead_mean_ms", "gauge", "DEPRECATED; use waterwise_round_stage_seconds{stage=\"solve\"}. Mean per-round scheduler invocation cost (Fig. 13).",
-			func(s ShardStatus) float64 { return s.RoundOverheadMeanMs }},
 	}
 	for _, m := range perShard {
 		head(m.name, m.typ, m.help)

@@ -1,0 +1,265 @@
+package fleet
+
+import (
+	"time"
+)
+
+// The PR 6 residual this file closes: the gateway buffers submissions
+// for a dead shard, but something external had to call RestartShard. The
+// supervisor is that something — a watchdog goroutine that probes every
+// shard, declares one dead after a threshold of consecutive failed
+// probes (a shard that stopped or whose round loop errored without the
+// fleet stopping it), and drives RestartShard with capped exponential
+// backoff until the shard rejoins. Region re-assignment is deliberately
+// out of scope (it would change partitions and break the
+// sharded≡unsharded equivalence proof); the supervisor restores the
+// fixed partition, it never rebalances it.
+
+// Supervisor defaults (applied by Config.Supervisor.withDefaults).
+const (
+	// DefaultSupervisorInterval is the health-probe cadence.
+	DefaultSupervisorInterval = 25 * time.Millisecond
+	// DefaultSupervisorFailThreshold is how many consecutive failed
+	// probes declare a shard dead (2: one stray observation mid-restart
+	// never triggers a kill).
+	DefaultSupervisorFailThreshold = 2
+	// DefaultSupervisorBackoffMin seeds the restart backoff after a
+	// failed restart attempt.
+	DefaultSupervisorBackoffMin = 100 * time.Millisecond
+	// DefaultSupervisorBackoffMax caps the restart backoff.
+	DefaultSupervisorBackoffMax = 5 * time.Second
+)
+
+// SupervisorConfig parameterizes the fleet watchdog. Zero values take
+// the defaults above.
+type SupervisorConfig struct {
+	// Interval is the health-probe cadence.
+	Interval time.Duration
+	// FailThreshold is how many consecutive failed probes mark a live
+	// shard dead (KillShard semantics: the gateway starts buffering).
+	// Shards killed explicitly skip the threshold — they are already dead.
+	FailThreshold int
+	// BackoffMin and BackoffMax bound the capped exponential backoff
+	// between restart attempts while RestartShard keeps failing.
+	BackoffMin time.Duration
+	BackoffMax time.Duration
+}
+
+func (c SupervisorConfig) withDefaults() SupervisorConfig {
+	if c.Interval <= 0 {
+		c.Interval = DefaultSupervisorInterval
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = DefaultSupervisorFailThreshold
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = DefaultSupervisorBackoffMin
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = DefaultSupervisorBackoffMax
+	}
+	return c
+}
+
+// ShardSupervision is one shard's view in the supervisor status block.
+type ShardSupervision struct {
+	Shard int `json:"shard"`
+	// State is "up" (probes passing), "dead" (awaiting a restart
+	// attempt), or "backoff" (a restart failed; waiting out the delay).
+	State string `json:"state"`
+	// Restarts counts successful supervisor-driven restarts of this shard.
+	Restarts uint64 `json:"restarts"`
+	// Strikes is the current consecutive-failed-probe count (resets on a
+	// passing probe or a successful restart).
+	Strikes int `json:"strikes,omitempty"`
+	// BackoffMs is the current restart backoff, nonzero only after a
+	// failed restart attempt.
+	BackoffMs float64 `json:"backoff_ms,omitempty"`
+	// LastRestart is the wall instant of the newest successful restart.
+	LastRestart time.Time `json:"last_restart,omitzero"`
+}
+
+// SupervisorStatus is the "supervisor" block of the gateway's /v1/status.
+type SupervisorStatus struct {
+	// Restarts counts successful supervisor-driven shard restarts,
+	// fleet-wide (the waterwise_fleet_restarts_total counter).
+	Restarts uint64             `json:"restarts"`
+	Shards   []ShardSupervision `json:"shards"`
+}
+
+// supervisor is the watchdog state. Per-shard slices are guarded by the
+// fleet's mu (the same lock the dead/buffered bookkeeping lives under);
+// the loop goroutine is started by Fleet.Start and stopped by Fleet.Stop
+// before the shards are, so a deliberate shutdown never looks like a
+// crash.
+type supervisor struct {
+	cfg  SupervisorConfig
+	stop chan struct{}
+	done chan struct{}
+
+	// All guarded by Fleet.mu.
+	running  bool
+	strikes  []int
+	backoff  []time.Duration
+	next     []time.Time // earliest next restart attempt per shard
+	restarts []uint64    // successful restarts per shard
+	lastUp   []time.Time // newest successful restart per shard
+	total    uint64
+}
+
+func newSupervisor(cfg SupervisorConfig, shards int) *supervisor {
+	return &supervisor{
+		cfg:      cfg.withDefaults(),
+		strikes:  make([]int, shards),
+		backoff:  make([]time.Duration, shards),
+		next:     make([]time.Time, shards),
+		restarts: make([]uint64, shards),
+		lastUp:   make([]time.Time, shards),
+	}
+}
+
+// startSupervisor launches the watchdog loop (idempotent). Called from
+// Fleet.Start.
+func (f *Fleet) startSupervisor() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sup == nil || f.sup.running {
+		return
+	}
+	f.sup.running = true
+	f.sup.stop = make(chan struct{})
+	f.sup.done = make(chan struct{})
+	go f.supervise()
+}
+
+// stopSupervisor halts the watchdog and waits for it (idempotent).
+// Called from Fleet.Stop before the shards are stopped, so the shutdown
+// is never mistaken for a fleet-wide crash.
+func (f *Fleet) stopSupervisor() {
+	f.mu.Lock()
+	if f.sup == nil || !f.sup.running {
+		f.mu.Unlock()
+		return
+	}
+	f.sup.running = false
+	stop, done := f.sup.stop, f.sup.done
+	f.mu.Unlock()
+	close(stop)
+	<-done
+}
+
+// supervise is the watchdog loop: probe, declare, restart.
+func (f *Fleet) supervise() {
+	sup := f.sup
+	defer close(sup.done)
+	t := time.NewTicker(sup.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-sup.stop:
+			return
+		case <-t.C:
+		}
+		for i := range f.shardList() {
+			f.superviseShard(i)
+		}
+	}
+}
+
+// superviseShard runs one probe-and-repair step for one shard.
+func (f *Fleet) superviseShard(i int) {
+	sup := f.sup
+	f.mu.Lock()
+	dead := f.dead[i]
+	srv := f.shards[i]
+	f.mu.Unlock()
+	if !dead {
+		if !srv.Stopped() {
+			f.mu.Lock()
+			sup.strikes[i] = 0
+			f.mu.Unlock()
+			return
+		}
+		// The shard halted without the fleet killing it — a direct Crash
+		// or a round-loop failure. Strike; at the threshold, mark it dead
+		// the usual way (KillShard is idempotent and, on an
+		// already-stopped server, only flips the gateway to buffering).
+		f.mu.Lock()
+		sup.strikes[i]++
+		strikes := sup.strikes[i]
+		f.mu.Unlock()
+		if strikes < sup.cfg.FailThreshold {
+			return
+		}
+		_ = f.KillShard(i)
+	}
+	f.mu.Lock()
+	wait := time.Until(sup.next[i]) > 0
+	f.mu.Unlock()
+	if wait {
+		return
+	}
+	err := f.RestartShard(i)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err != nil {
+		if sup.backoff[i] < sup.cfg.BackoffMin {
+			sup.backoff[i] = sup.cfg.BackoffMin
+		} else {
+			sup.backoff[i] *= 2
+		}
+		if sup.backoff[i] > sup.cfg.BackoffMax {
+			sup.backoff[i] = sup.cfg.BackoffMax
+		}
+		sup.next[i] = time.Now().Add(sup.backoff[i])
+		return
+	}
+	sup.backoff[i] = 0
+	sup.next[i] = time.Time{}
+	sup.strikes[i] = 0
+	sup.restarts[i]++
+	sup.lastUp[i] = time.Now()
+	sup.total++
+}
+
+// supervisorStatusLocked builds the status block. Called with f.mu held;
+// nil when supervision is disabled.
+func (f *Fleet) supervisorStatusLocked() *SupervisorStatus {
+	sup := f.sup
+	if sup == nil {
+		return nil
+	}
+	st := &SupervisorStatus{
+		Restarts: sup.total,
+		Shards:   make([]ShardSupervision, len(f.shards)),
+	}
+	for i := range f.shards {
+		ss := ShardSupervision{
+			Shard:       i,
+			State:       "up",
+			Restarts:    sup.restarts[i],
+			Strikes:     sup.strikes[i],
+			LastRestart: sup.lastUp[i],
+		}
+		if f.dead[i] {
+			ss.State = "dead"
+			if sup.backoff[i] > 0 {
+				ss.State = "backoff"
+				ss.BackoffMs = float64(sup.backoff[i].Microseconds()) / 1000
+			}
+		}
+		st.Shards[i] = ss
+	}
+	return st
+}
+
+// Restarts reports the number of successful supervisor-driven shard
+// restarts (0 with supervision disabled).
+func (f *Fleet) Restarts() uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.sup == nil {
+		return 0
+	}
+	return f.sup.total
+}

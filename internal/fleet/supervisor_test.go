@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"waterwise/internal/server"
+)
+
+// TestSupervisorAutoFailover is the failover acceptance test: a shard of
+// a supervised fleet crash-stops mid-run — not via KillShard, but the
+// way a real process dies, with the fleet never told — and the
+// supervisor alone must detect the death, mark the shard dead, and
+// restart it from its write-ahead log. No external RestartShard call is
+// ever made. The merged stream must come out decision-for-decision
+// identical to an undisturbed reference fleet, with dense global seqs,
+// zero lost decisions, and the restart counted in the status and
+// metrics surfaces.
+func TestSupervisorAutoFailover(t *testing.T) {
+	const round = time.Minute
+	env := testEnv(t)
+	jobs := genTrace(t, env, 2000, 24)
+	ctx, cancel := context.WithTimeout(context.Background(), 180*time.Second)
+	defer cancel()
+
+	// Uninterrupted, unsupervised reference.
+	ref, err := New(Config{Env: env, NewScheduler: coreFactory(t), Shards: 2, Tolerance: 0.5, Round: round})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Stop()
+	for _, j := range jobs {
+		if _, err := ref.Submit(specFor(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ref.Start()
+	if err := ref.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Decisions(0, 0)
+
+	// Supervised durable fleet, throttled so the crash lands mid-run.
+	fl, err := New(Config{
+		Env: testEnv(t), NewScheduler: throttledFactory(t, 500*time.Microsecond), Shards: 2,
+		Tolerance: 0.5, Round: round, DataDir: t.TempDir(), SnapshotEvery: 100,
+		Supervisor: &SupervisorConfig{
+			Interval: time.Millisecond, FailThreshold: 2,
+			BackoffMin: 2 * time.Millisecond, BackoffMax: 50 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Stop()
+	ts := httptest.NewServer(fl.Handler())
+	defer ts.Close()
+	for _, j := range jobs {
+		if _, err := fl.Submit(specFor(j)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fl.Start()
+	victim := fl.Shard(0)
+	for victim.Status().Decisions < 100 {
+		runtime.Gosched()
+	}
+	// Crash the server directly — the fleet is not told (no KillShard);
+	// only the supervisor's health probe can notice.
+	victim.Crash()
+	st0 := victim.Status()
+	if st0.Decisions >= st0.Accepted {
+		t.Fatalf("crash landed after shard 0 finished (%d/%d decisions); nothing to fail over",
+			st0.Decisions, st0.Accepted)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for fl.Restarts() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("supervisor never restarted the crashed shard")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if rst := fl.Shard(0).Status(); rst.WAL == nil || (!rst.WAL.RecoveredSnapshot && rst.WAL.RecoveredRecords == 0) {
+		t.Fatalf("supervised restart recovered nothing: %+v", rst.WAL)
+	}
+	if err := fl.Drain(ctx); err != nil {
+		t.Fatalf("drain after failover: %v", err)
+	}
+	got := fl.Decisions(0, 0)
+	sameMergedStream(t, got, want)
+	for i, d := range got {
+		if d.Seq != uint64(i)+1 {
+			t.Fatalf("global seq gap: decision %d has seq %d", i, d.Seq)
+		}
+	}
+
+	st := fl.Status()
+	if st.Lost != 0 {
+		t.Fatalf("merge lost %d decisions across the failover", st.Lost)
+	}
+	if st.Supervisor == nil || st.Supervisor.Restarts < 1 {
+		t.Fatalf("status supervisor block missing the restart: %+v", st.Supervisor)
+	}
+	if s0 := st.Supervisor.Shards[0]; s0.State != "up" || s0.Restarts < 1 {
+		t.Fatalf("shard 0 supervision state: %+v", s0)
+	}
+
+	// The restart shows in the metrics exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	m := regexp.MustCompile(`(?m)^waterwise_fleet_restarts_total (\d+)$`).FindSubmatch(body)
+	if m == nil {
+		t.Fatal("metrics exposition missing waterwise_fleet_restarts_total")
+	}
+	if n, _ := strconv.Atoi(string(m[1])); n < 1 {
+		t.Fatalf("waterwise_fleet_restarts_total = %d, want >= 1", n)
+	}
+	if !bytes.Contains(body, []byte(`waterwise_fleet_shard_up{shard="0"} 1`)) {
+		t.Fatal("metrics exposition missing the recovered shard's up gauge")
+	}
+}
+
+// TestGatewayDeadShardOverflowHTTP is the end-to-end backpressure test:
+// during a kill window the gateway's HTTP ingest keeps accepting the
+// dead shard's submissions into the bounded buffer, answers 429 once the
+// buffer is full, and flushes the buffered jobs — all of them decided,
+// global seqs dense — when the shard restarts.
+func TestGatewayDeadShardOverflowHTTP(t *testing.T) {
+	env := testEnv(t)
+	fl, err := New(Config{
+		Env: env, NewScheduler: coreFactory(t), Shards: 2,
+		Tolerance: 0.5, Round: time.Minute, DataDir: t.TempDir(), QueueCap: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Stop()
+	ts := httptest.NewServer(fl.Handler())
+	defer ts.Close()
+	post := func(spec server.JobSpec) (server.SubmitResponse, int) {
+		body, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(ts.URL+server.PathJobs, "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sr server.SubmitResponse
+		_ = json.NewDecoder(resp.Body).Decode(&sr)
+		return sr, resp.StatusCode
+	}
+
+	deadHome := fl.Partitions()[0][0]
+	if err := fl.KillShard(0); err != nil {
+		t.Fatal(err)
+	}
+	buffered := make([]int, 0, 4)
+	for i := 0; i < 4; i++ {
+		sr, code := post(server.JobSpec{Benchmark: "canneal", Home: deadHome, Submit: testStart.Add(time.Hour)})
+		if code != http.StatusAccepted || len(sr.Accepted) != 1 {
+			t.Fatalf("buffered submit %d during kill window: status %d, %+v", i, code, sr)
+		}
+		buffered = append(buffered, sr.Accepted[0])
+	}
+	if _, code := post(server.JobSpec{Benchmark: "canneal", Home: deadHome, Submit: testStart.Add(time.Hour)}); code != http.StatusTooManyRequests {
+		t.Fatalf("buffer overflow through the gateway: status %d, want 429", code)
+	}
+
+	if err := fl.RestartShard(0); err != nil {
+		t.Fatal(err)
+	}
+	fl.Start()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := fl.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	decided := make(map[int]bool)
+	for i, d := range fl.Decisions(0, 0) {
+		if d.Seq != uint64(i)+1 {
+			t.Fatalf("global seq gap after flush: decision %d has seq %d", i, d.Seq)
+		}
+		decided[d.JobID] = true
+	}
+	for _, id := range buffered {
+		if !decided[id] {
+			t.Fatalf("buffered job %d never decided after restart", id)
+		}
+	}
+	if errors.Is(fl.Err(), server.ErrStopped) {
+		t.Fatal("fleet still reports the crash after restart")
+	}
+}

@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"embed"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+//go:embed specs/*.json
+var bundledFS embed.FS
+
+// Bundled returns the specs shipped with the harness (validated, sorted
+// by name): the fault catalogue's canonical exercises — feed-outage,
+// feed-429-storm, shard-kill, flash-crowd, disk-degraded.
+func Bundled() ([]Spec, error) {
+	entries, err := bundledFS.ReadDir("specs")
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]Spec, 0, len(entries))
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := bundledFS.ReadFile("specs/" + e.Name())
+		if err != nil {
+			return nil, err
+		}
+		s, err := Parse(b)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: bundled spec %s: %w", e.Name(), err)
+		}
+		specs = append(specs, s)
+	}
+	sort.Slice(specs, func(i, j int) bool { return specs[i].Name < specs[j].Name })
+	return specs, nil
+}
+
+// Lookup finds one bundled spec by name.
+func Lookup(name string) (Spec, error) {
+	specs, err := Bundled()
+	if err != nil {
+		return Spec{}, err
+	}
+	for _, s := range specs {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return Spec{}, fmt.Errorf("scenario: no bundled scenario %q (have %s)", name, strings.Join(names, ", "))
+}

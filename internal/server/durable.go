@@ -273,7 +273,7 @@ type WALStatus struct {
 // process would have resumed. Called from New before the server is
 // visible to anyone; no locking needed.
 func (s *Server) openDurable() error {
-	l, err := wal.Open(wal.Options{Dir: s.cfg.DataDir, SegmentBytes: s.cfg.WALSegmentBytes})
+	l, err := wal.Open(wal.Options{Dir: s.cfg.DataDir, SegmentBytes: s.cfg.WALSegmentBytes, SyncDelay: s.cfg.WALSyncDelay})
 	if err != nil {
 		return err
 	}

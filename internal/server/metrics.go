@@ -36,7 +36,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge("waterwise_queue_pending", "Jobs awaiting a placement decision.", float64(st.Pending))
 	gauge("waterwise_queue_future", "Accepted jobs not yet due for a round.", float64(st.Future))
 	gauge("waterwise_queue_cap", "Ingest queue capacity (backpressure threshold).", float64(st.QueueCap))
-	gauge("waterwise_round_overhead_mean_ms", "DEPRECATED; use waterwise_round_stage_seconds{stage=\"solve\"}. Mean per-round scheduler invocation cost (Fig. 13).", st.RoundOverheadMeanMs)
 	b = AppendObsMetrics(b, s.ObsSnapshots(), "waterwise_", "", true)
 	// Per-region free servers, in stable region order.
 	ids := make([]string, 0, len(st.Free))

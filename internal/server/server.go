@@ -87,6 +87,11 @@ type Config struct {
 	// WAL's user-space buffer before a group commit when no round fires
 	// (default 100ms). Rounds always commit their batch on completion.
 	SyncInterval time.Duration
+	// WALSyncDelay is passed to the write-ahead log as its fsync latency
+	// hook (wal.Options.SyncDelay): the scenario harness injects slow-disk
+	// stalls through it. Nil — the default — is exactly free. Ignored
+	// without DataDir.
+	WALSyncDelay func() time.Duration
 	// DedupeCap bounds the decided-job dedupe index that makes client
 	// re-submits idempotent after a restart (default 262144 entries,
 	// evicted FIFO).
@@ -230,13 +235,6 @@ type Status struct {
 	Unscheduled int    `json:"unscheduled"`
 	// Free is the per-region free server count at SimNow.
 	Free map[region.ID]int `json:"free"`
-	// RoundOverheadMeanMs is the mean scheduler invocation cost (Fig. 13's
-	// quantity) across all rounds so far.
-	//
-	// Deprecated: a running mean hides the tail. Use Obs (histogram-backed
-	// quantiles) or the waterwise_round_stage_seconds{stage="solve"}
-	// histogram on /metrics; the field stays for existing dashboards.
-	RoundOverheadMeanMs float64 `json:"round_overhead_mean_ms"`
 	// Obs digests the observability histograms — decision latency, round
 	// and solve time quantiles — when the layer is enabled.
 	Obs *ObsSummary `json:"obs,omitempty"`
@@ -617,6 +615,37 @@ func (s *Server) Err() error {
 	return s.runErr
 }
 
+// Stopped reports whether the server has halted — by Stop, by Crash, or
+// by a round-loop failure (see Err). The fleet supervisor's health probe:
+// a shard that reports stopped without its fleet having stopped it is
+// dead and a restart candidate.
+func (s *Server) Stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped || s.runErr != nil
+}
+
+// SetQueueCap changes the ingest queue capacity at runtime — the
+// scenario harness's queue-squeeze fault. A lower cap takes effect on
+// the next Submit (already-queued jobs are never evicted); n <= 0 is
+// ignored. Decision-neutral: capacity only selects which submissions are
+// rejected, never how an accepted job is placed.
+func (s *Server) SetQueueCap(n int) {
+	if n <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.cfg.QueueCap = n
+	s.mu.Unlock()
+}
+
+// QueueCap reports the current ingest queue capacity.
+func (s *Server) QueueCap() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.QueueCap
+}
+
 // Cursor is an atomic snapshot of the decision log's progress, taken
 // together with a Decisions page so a merging consumer — the fleet
 // gateway interleaving several shards' logs — can reason about what it
@@ -722,9 +751,6 @@ func (s *Server) Status() Status {
 		Free:      s.sim.Free(s.simNow),
 	}
 	st.Unscheduled = s.unscheduled
-	if s.rounds > 0 {
-		st.RoundOverheadMeanMs = float64(s.overheadSum.Microseconds()) / 1000 / float64(s.rounds)
-	}
 	if s.obs != nil {
 		snaps := &ObsSnapshots{
 			Decision: s.obs.decision.Snapshot(),

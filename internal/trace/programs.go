@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"waterwise/internal/stats"
+)
+
+// Arrival programs beyond the two production replicas: the scenario
+// harness (internal/scenario) composes a trace from an arrival program
+// and a fault schedule, and steady and flash-crowd arrivals are the
+// shapes faults are easiest to reason about under — a flat baseline
+// makes an injected outage's effect legible, and a flash crowd is
+// itself the load-side fault.
+
+// GenerateSteady produces a flat-rate trace: homogeneous Poisson
+// arrivals at JobsPerDay with no diurnal or weekly modulation. The
+// control program — SLO numbers measured under it isolate the fault
+// schedule's effect from arrival-rate swings.
+func GenerateSteady(cfg Config) ([]*Job, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRand(cfg.Seed)
+	ratePerMin := cfg.JobsPerDay / (24 * 60)
+	var jobs []*Job
+	minutes := int(cfg.Duration / time.Minute)
+	for m := 0; m < minutes; m++ {
+		t := cfg.Start.Add(time.Duration(m) * time.Minute)
+		n := rng.Poisson(ratePerMin)
+		for k := 0; k < n; k++ {
+			at := t.Add(time.Duration(rng.Float64() * float64(time.Minute)))
+			jobs = append(jobs, sampleJob(cfg, rng, len(jobs), at))
+		}
+	}
+	sortJobs(jobs)
+	renumber(jobs)
+	return jobs, nil
+}
+
+// FlashConfig parameterizes GenerateFlashCrowd: a steady baseline with
+// one rate spike — the retry storm / viral event / failover stampede
+// shape that stresses admission control.
+type FlashConfig struct {
+	Config
+	// FlashAt is the spike onset as an offset from Config.Start (must lie
+	// inside Config.Duration).
+	FlashAt time.Duration
+	// FlashDuration is how long the spike lasts (default 10 minutes).
+	FlashDuration time.Duration
+	// FlashMult multiplies the baseline rate during the spike (default 10).
+	FlashMult float64
+}
+
+// GenerateFlashCrowd produces a steady-baseline trace with one flash
+// crowd: arrivals at FlashMult times the baseline rate for
+// FlashDuration starting at Start+FlashAt.
+func GenerateFlashCrowd(fc FlashConfig) ([]*Job, error) {
+	cfg, err := fc.Config.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if fc.FlashDuration <= 0 {
+		fc.FlashDuration = 10 * time.Minute
+	}
+	if fc.FlashMult <= 0 {
+		fc.FlashMult = 10
+	}
+	if fc.FlashAt < 0 || fc.FlashAt >= cfg.Duration {
+		return nil, fmt.Errorf("trace: flash onset %v outside trace span %v", fc.FlashAt, cfg.Duration)
+	}
+	rng := stats.NewRand(cfg.Seed)
+	ratePerMin := cfg.JobsPerDay / (24 * 60)
+	spikeFrom := cfg.Start.Add(fc.FlashAt)
+	spikeTo := spikeFrom.Add(fc.FlashDuration)
+	var jobs []*Job
+	minutes := int(cfg.Duration / time.Minute)
+	for m := 0; m < minutes; m++ {
+		t := cfg.Start.Add(time.Duration(m) * time.Minute)
+		lambda := ratePerMin
+		if !t.Before(spikeFrom) && t.Before(spikeTo) {
+			lambda *= fc.FlashMult
+		}
+		n := rng.Poisson(lambda)
+		for k := 0; k < n; k++ {
+			at := t.Add(time.Duration(rng.Float64() * float64(time.Minute)))
+			jobs = append(jobs, sampleJob(cfg, rng, len(jobs), at))
+		}
+	}
+	sortJobs(jobs)
+	renumber(jobs)
+	return jobs, nil
+}

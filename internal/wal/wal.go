@@ -66,6 +66,14 @@ type Options struct {
 	// KeepSnapshots is how many newest snapshot files retention preserves
 	// (default 2: the latest plus one fallback).
 	KeepSnapshots int
+	// SyncDelay, when non-nil, is consulted on every effective Sync (one
+	// that has new records to commit) and the returned duration is slept
+	// before the fsync — the slow-disk fault-injection hook the scenario
+	// harness uses to emulate a degraded device. The stall is part of the
+	// measured fsync duration, so it surfaces in Stats.FsyncP50/P99
+	// exactly like a real slow disk. Nil (the default) adds no branch
+	// beyond one pointer check: the hook is exactly free when unused.
+	SyncDelay func() time.Duration
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -360,6 +368,11 @@ func (l *Log) Sync() error {
 		return nil // nothing new
 	}
 	t0 := time.Now()
+	if l.opt.SyncDelay != nil {
+		if d := l.opt.SyncDelay(); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	if err := l.syncActive(); err != nil {
 		return err
 	}

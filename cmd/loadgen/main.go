@@ -40,6 +40,10 @@
 //	           long-lived daemon never collide. Set it explicitly
 //	           (with -seed) for a bit-reproducible run against a
 //	           fresh daemon.                 (default 0)
+//	-timeseries  CSV file of periodic client-side latency
+//	           percentile samples over the run; each row covers
+//	           one sample interval             (default: off)
+//	-sample    timeseries sample interval     (default 1s)
 //	-json      machine-readable report
 package main
 
@@ -122,6 +126,8 @@ func run() error {
 		retries    = flag.Int("retries", 2, "extra POST attempts per batch on connection errors or 5xx")
 		seed       = flag.Int64("seed", 7, "generator seed")
 		idBaseFlag = flag.Int("id-base", 0, "base for client-assigned job ids (0: derive from the wall clock)")
+		tsFile     = flag.String("timeseries", "", "CSV file of periodic client-side latency percentile samples (empty: off)")
+		sampleIv   = flag.Duration("sample", time.Second, "timeseries sample interval")
 		jsonOut    = flag.Bool("json", false, "emit a JSON report")
 		coGapMs    = flag.Float64("co-gap-ms", 250, "flag a coordinated-omission gap (client p99 - server p99) above this many ms")
 	)
@@ -268,6 +274,52 @@ func run() error {
 		}(ti, url)
 	}
 
+	// Timeseries sampler: every -sample interval, emit one CSV row of
+	// client-side percentiles over the decisions observed in that interval
+	// — the run's latency trajectory rather than one end-of-run summary,
+	// so a mid-run stall (a fault window, a restarting shard) is visible
+	// as a bump instead of being averaged away.
+	var tsWG sync.WaitGroup
+	if *tsFile != "" {
+		f, err := os.Create(*tsFile)
+		if err != nil {
+			return fmt.Errorf("timeseries file: %w", err)
+		}
+		fmt.Fprintln(f, "elapsed_sec,decided_total,interval_decisions,p50_ms,p90_ms,p99_ms")
+		tsWG.Add(1)
+		go func() {
+			defer tsWG.Done()
+			defer f.Close()
+			start := time.Now()
+			lastN := 0
+			sample := func() {
+				mu.Lock()
+				window := append([]float64(nil), lats[lastN:]...)
+				lastN = len(lats)
+				decided := rep.Decided
+				mu.Unlock()
+				elapsed := time.Since(start).Seconds()
+				if len(window) == 0 {
+					fmt.Fprintf(f, "%.3f,%d,0,,,\n", elapsed, decided)
+					return
+				}
+				sort.Float64s(window)
+				fmt.Fprintf(f, "%.3f,%d,%d,%.3f,%.3f,%.3f\n",
+					elapsed, decided, len(window),
+					percentile(window, 0.50), percentile(window, 0.90), percentile(window, 0.99))
+			}
+			for {
+				select {
+				case <-stopPoll:
+					sample() // final partial interval, so the tail is never lost
+					return
+				case <-time.After(*sampleIv):
+					sample()
+				}
+			}
+		}()
+	}
+
 	// One sender goroutine per target, fed through a buffered queue: the
 	// open-loop schedule keeps walking even when one target is slow or
 	// hung — its batches pile into its own queue (dropped as errors once
@@ -392,6 +444,7 @@ func run() error {
 	}
 	close(stopPoll)
 	pollWG.Wait()
+	tsWG.Wait()
 
 	// Final per-target stats: rounds and solver counters sum across the
 	// deployment (a gateway's per-shard solver stats included).

@@ -1,0 +1,222 @@
+// Command metricsdoc generates METRICS.md, the reference for every
+// metric family the service exposes, straight from the expositions
+// themselves: it boots a durable single server and a supervised
+// two-shard fleet in-process — flight recorder and SLO engine armed so
+// their self-metrics render — gathers both /metrics bodies through the
+// same strict parser the lint tests use, and emits one sorted table of
+// name, type, labels, exposing surface, and HELP text. Generating from
+// a live exposition rather than a hand-kept list means the doc cannot
+// silently drift: a new family shows up on the next run, and the CI
+// -check mode fails when the committed file no longer matches.
+//
+// Usage:
+//
+//	metricsdoc -out METRICS.md    # (re)write the reference
+//	metricsdoc -check METRICS.md  # exit 1 if the committed file drifted
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"waterwise/internal/cluster"
+	"waterwise/internal/core"
+	"waterwise/internal/energy"
+	"waterwise/internal/fleet"
+	"waterwise/internal/obs"
+	"waterwise/internal/region"
+	"waterwise/internal/server"
+	"waterwise/internal/tsdb"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metricsdoc:", err)
+		os.Exit(1)
+	}
+}
+
+// row is one documented family on one exposition surface.
+type row struct {
+	name, typ, help string
+	labels          map[string]bool
+	sources         map[string]bool
+}
+
+func run() error {
+	out := flag.String("out", "", "write the generated reference to this file")
+	check := flag.String("check", "", "compare the generated reference against this file; exit 1 on drift")
+	flag.Parse()
+	if (*out == "") == (*check == "") {
+		return fmt.Errorf("exactly one of -out or -check is required")
+	}
+
+	doc, err := generate()
+	if err != nil {
+		return err
+	}
+	if *out != "" {
+		return os.WriteFile(*out, doc, 0o644)
+	}
+	committed, err := os.ReadFile(*check)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(committed, doc) {
+		return fmt.Errorf("%s has drifted from the live expositions; regenerate with: go run ./cmd/metricsdoc -out %s", *check, *check)
+	}
+	fmt.Printf("metricsdoc: %s is up to date\n", *check)
+	return nil
+}
+
+// generate boots the two exposition surfaces and renders the table.
+func generate() ([]byte, error) {
+	rows := map[string]*row{}
+
+	srvText, err := serverExposition()
+	if err != nil {
+		return nil, err
+	}
+	if err := ingest(rows, srvText, "server"); err != nil {
+		return nil, fmt.Errorf("server exposition: %w", err)
+	}
+	flText, err := fleetExposition()
+	if err != nil {
+		return nil, err
+	}
+	if err := ingest(rows, flText, "fleet"); err != nil {
+		return nil, fmt.Errorf("fleet exposition: %w", err)
+	}
+
+	names := make([]string, 0, len(rows))
+	for name := range rows {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var b bytes.Buffer
+	b.WriteString("# Metrics reference\n\n")
+	b.WriteString("Every metric family the service exposes on `/metrics`, generated from\n")
+	b.WriteString("live expositions by `cmd/metricsdoc`. Do not edit by hand — regenerate\n")
+	b.WriteString("with `go run ./cmd/metricsdoc -out METRICS.md`; CI fails when this file\n")
+	b.WriteString("drifts from what a booted daemon actually serves.\n\n")
+	b.WriteString("`server` families appear on a standalone `waterwised`; `fleet` families\n")
+	b.WriteString("on a sharded gateway (`-shards > 1`), where per-shard families carry a\n")
+	b.WriteString("`shard` label. Histograms expose `_bucket`/`_sum`/`_count` series with\n")
+	b.WriteString("one shared bucket scheme, so cross-shard sums are exact merges.\n\n")
+	b.WriteString("| Metric | Type | Labels | Exposed by | Help |\n")
+	b.WriteString("|---|---|---|---|---|\n")
+	for _, name := range names {
+		r := rows[name]
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s |\n",
+			r.name, r.typ, setList(r.labels, "—"), setList(r.sources, "—"),
+			strings.ReplaceAll(r.help, "|", "\\|"))
+	}
+	fmt.Fprintf(&b, "\n%d families.\n", len(names))
+	return b.Bytes(), nil
+}
+
+// ingest parses one exposition and folds its families into rows.
+func ingest(rows map[string]*row, text []byte, source string) error {
+	fams, err := obs.ParseProm(text)
+	if err != nil {
+		return err
+	}
+	for name, fam := range fams {
+		r := rows[name]
+		if r == nil {
+			r = &row{name: name, typ: fam.Type, help: fam.Help,
+				labels: map[string]bool{}, sources: map[string]bool{}}
+			rows[name] = r
+		}
+		r.sources[source] = true
+		for _, s := range fam.Samples {
+			for k := range s.Labels {
+				if k != "le" { // bucket edges are structure, not identity
+					r.labels[k] = true
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func setList(set map[string]bool, empty string) string {
+	if len(set) == 0 {
+		return empty
+	}
+	items := make([]string, 0, len(set))
+	for k := range set {
+		items = append(items, k)
+	}
+	sort.Strings(items)
+	return strings.Join(items, ", ")
+}
+
+// docObjectives arms the SLO engine so the recorder's alert gauge and
+// tsdb accounting families render with their real HELP text.
+var docObjectives = []tsdb.Objective{{
+	Name: "availability", Target: 0.999,
+	Bad: "waterwise_jobs_rejected_total", Good: "waterwise_jobs_accepted_total",
+}}
+
+// serverExposition boots a durable standalone server with every optional
+// subsystem armed — WAL, solver stats, observability, feed health,
+// flight recorder — and returns its exposition.
+func serverExposition() ([]byte, error) {
+	env, err := region.NewEnvironment(region.Defaults(), energy.Table, time.Date(2023, 7, 3, 0, 0, 0, 0, time.UTC), 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	sched, err := core.New(core.DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "metricsdoc-server-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	srv, err := server.New(server.Config{
+		Env: env, Scheduler: sched, Tolerance: 0.5, Round: 15 * time.Minute,
+		DataDir: dir,
+		Record:  server.RecordConfig{Enable: true, SLOs: docObjectives},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return srv.MetricsText(), nil
+}
+
+// fleetExposition boots a durable, supervised two-shard fleet with the
+// fleet-level flight recorder armed and returns the gateway exposition.
+func fleetExposition() ([]byte, error) {
+	env, err := region.NewEnvironment(region.Defaults(), energy.Table, time.Date(2023, 7, 3, 0, 0, 0, 0, time.UTC), 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	dir, err := os.MkdirTemp("", "metricsdoc-fleet-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	fl, err := fleet.New(fleet.Config{
+		Env: env, Shards: 2, Tolerance: 0.5, Round: 15 * time.Minute,
+		DataDir: dir,
+		NewScheduler: func(int, []region.ID) (cluster.Scheduler, error) {
+			return core.New(core.DefaultConfig())
+		},
+		Supervisor: &fleet.SupervisorConfig{Interval: time.Second, FailThreshold: 2},
+		Record:     server.RecordConfig{Enable: true, SLOs: docObjectives},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer fl.Stop()
+	return fl.MetricsText(), nil
+}

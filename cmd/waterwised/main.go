@@ -62,6 +62,22 @@
 //	-no-obs        disable the observability layer (latency
 //	               histograms, round/job traces) — the
 //	               obs-off arm of the overhead benchmark
+//	-record-metrics keep a bounded in-process time-series
+//	               history of /metrics, scraped once per round;
+//	               query it with GET /v1/query (default: off)
+//	-record-budget-mb memory budget for recorded history; the
+//	               oldest window is evicted past it (default 8)
+//	-record-interval minimum wall-clock spacing between recorder
+//	               scrapes; accelerated rounds coalesce to the
+//	               newest one per interval (default 250ms, 0 =
+//	               scrape every round)
+//	-slo           comma-separated SLO objectives with
+//	               multi-window burn-rate alerting on the
+//	               recorded history (implies -record-metrics):
+//	               "availability:0.999" alerts on the rejected/
+//	               accepted ratio; "latency:0.99@250ms" alerts
+//	               when under 99% of decisions beat 250ms.
+//	               Alert states at GET /v1/alerts.
 package main
 
 import (
@@ -126,6 +142,72 @@ func applyFeedFlag(cfg *waterwise.EnvironmentConfig, spec string) error {
 	return nil
 }
 
+// parseSLOs parses the -slo grammar into SLO objectives. Two forms,
+// comma-separated:
+//
+//	availability:<target>        — ratio objective over the rejected /
+//	                               accepted job counters
+//	latency:<target>@<threshold> — latency objective over the decision
+//	                               latency histogram (e.g. 0.99@250ms)
+//
+// The latency family differs between a single server and a fleet
+// gateway (the fleet exposes the shard-merged histogram under its own
+// name), so the caller passes which one is being built.
+func parseSLOs(csv string, fleetMode bool) ([]waterwise.SLOObjective, error) {
+	latencyFamily := "waterwise_decision_latency_seconds"
+	if fleetMode {
+		latencyFamily = "waterwise_fleet_decision_latency_seconds"
+	}
+	var out []waterwise.SLOObjective
+	for _, spec := range strings.Split(csv, ",") {
+		if spec = strings.TrimSpace(spec); spec == "" {
+			continue
+		}
+		kind, arg, ok := strings.Cut(spec, ":")
+		if !ok {
+			return nil, fmt.Errorf("-slo entry %q is not kind:target", spec)
+		}
+		switch kind {
+		case "availability":
+			target, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-slo %q: bad target: %v", spec, err)
+			}
+			out = append(out, waterwise.SLOObjective{
+				Name: "availability", Target: target,
+				Bad:  "waterwise_jobs_rejected_total",
+				Good: "waterwise_jobs_accepted_total",
+			})
+		case "latency":
+			targetStr, threshStr, ok := strings.Cut(arg, "@")
+			if !ok {
+				return nil, fmt.Errorf("-slo %q: latency wants target@threshold, e.g. latency:0.99@250ms", spec)
+			}
+			target, err := strconv.ParseFloat(targetStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("-slo %q: bad target: %v", spec, err)
+			}
+			thresh, err := time.ParseDuration(threshStr)
+			if err != nil {
+				return nil, fmt.Errorf("-slo %q: bad threshold: %v", spec, err)
+			}
+			out = append(out, waterwise.SLOObjective{
+				Name: "latency", Target: target,
+				Family:      latencyFamily,
+				ThresholdMs: float64(thresh) / float64(time.Millisecond),
+			})
+		default:
+			return nil, fmt.Errorf("unknown -slo kind %q (want availability or latency)", kind)
+		}
+	}
+	for _, o := range out {
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("-slo: %v", err)
+		}
+	}
+	return out, nil
+}
+
 // parseShardMap parses "region=shard" pins.
 func parseShardMap(csv string) (map[waterwise.RegionID]int, error) {
 	if csv == "" {
@@ -172,6 +254,10 @@ func run() error {
 		logFormat   = flag.String("log-format", "text", "log encoding: text or json")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 		noObs       = flag.Bool("no-obs", false, "disable the observability layer (histograms, round/job traces)")
+		recordTS    = flag.Bool("record-metrics", false, "keep a bounded in-process time-series history of /metrics (query via /v1/query)")
+		recordMB    = flag.Int("record-budget-mb", 0, "memory budget in MiB for recorded metrics history (0 = default 8)")
+		recordIv    = flag.Duration("record-interval", 250*time.Millisecond, "minimum wall-clock spacing between recorder scrapes (0 = every round)")
+		sloCSV      = flag.String("slo", "", `SLO objectives with burn-rate alerting, e.g. "availability:0.999,latency:0.99@250ms" (implies -record-metrics)`)
 	)
 	flag.Parse()
 
@@ -232,6 +318,24 @@ func run() error {
 		mode = "accelerated"
 	}
 
+	// -slo without -record-metrics would have nothing to evaluate burn
+	// rates over, so objectives imply recording.
+	buildRecord := func(fleetMode bool) (waterwise.RecordConfig, error) {
+		slos, err := parseSLOs(*sloCSV, fleetMode)
+		if err != nil {
+			return waterwise.RecordConfig{}, err
+		}
+		return waterwise.RecordConfig{
+			Enable:            *recordTS || len(slos) > 0,
+			MemoryBudgetBytes: *recordMB << 20,
+			MinInterval:       *recordIv,
+			SLOs:              slos,
+			Logf: func(format string, args ...any) {
+				slog.Info(fmt.Sprintf(format, args...))
+			},
+		}, nil
+	}
+
 	if *shards > 1 {
 		if *partCSV != "" {
 			return fmt.Errorf("-partition is the standalone-shard mode; use -shard-map with -shards")
@@ -240,12 +344,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		recCfg, err := buildRecord(true)
+		if err != nil {
+			return err
+		}
 		fl, err := waterwise.NewFleet(env, waterwise.FleetConfig{
 			Shards: *shards, ShardMap: shardMap, Scheduler: schedCfg,
 			Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
 			QueueCap: *queueCap, DecisionLogCap: *decisionLog,
 			DataDir: *dataDir, SnapshotEvery: *snapEvery,
-			Obs: waterwise.ObsConfig{Disable: *noObs},
+			Obs:    waterwise.ObsConfig{Disable: *noObs},
+			Record: recCfg,
 		})
 		if err != nil {
 			return err
@@ -276,12 +385,17 @@ func run() error {
 	if *shardMapCSV != "" {
 		return fmt.Errorf("-shard-map needs -shards > 1 (got -shards %d)", *shards)
 	}
+	recCfg, err := buildRecord(false)
+	if err != nil {
+		return err
+	}
 	srvCfg := waterwise.ServerConfig{
 		Regions:   splitRegions(*partCSV),
 		Tolerance: *tolerance, Round: *round, TimeScale: *timescale,
 		QueueCap: *queueCap, DecisionLogCap: *decisionLog,
 		DataDir: *dataDir, SnapshotEvery: *snapEvery,
-		Obs: waterwise.ObsConfig{Disable: *noObs},
+		Obs:    waterwise.ObsConfig{Disable: *noObs},
+		Record: recCfg,
 	}
 	sched, err := waterwise.NewScheduler(schedCfg)
 	if err != nil {

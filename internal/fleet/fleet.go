@@ -42,6 +42,7 @@ import (
 	"waterwise/internal/region"
 	"waterwise/internal/server"
 	"waterwise/internal/transfer"
+	"waterwise/internal/tsdb"
 )
 
 // Config parameterizes the fleet.
@@ -100,6 +101,13 @@ type Config struct {
 	// supervision — shards stay dead until RestartShard is called
 	// externally, the pre-supervisor behavior.
 	Supervisor *SupervisorConfig
+	// Record configures a fleet-level metrics flight recorder
+	// (server.RecordConfig): the merged gateway exposition — per-shard
+	// series, fleet histograms, merge counters — is self-scraped on the
+	// shards' round clock into one TSDB serving /v1/query and /v1/alerts
+	// on the gateway. Shards never record individually; the fleet view is
+	// the one operators query.
+	Record server.RecordConfig
 }
 
 // Decision is one merged placement: a shard's decision re-stamped with
@@ -190,6 +198,11 @@ type Fleet struct {
 	// sup is the watchdog (nil when Config.Supervisor is nil); its
 	// per-shard slices are guarded by mu like dead and buffered.
 	sup *supervisor
+
+	// recorder is the fleet-level metrics flight recorder (nil unless
+	// Config.Record.Enable). Immutable after New; shard round hooks and
+	// the gateway handlers read it without f.mu.
+	recorder *tsdb.Recorder
 }
 
 // partition assigns every region of env to a shard: pinned regions first,
@@ -287,7 +300,37 @@ func New(cfg Config) (*Fleet, error) {
 			f.autoID = n
 		}
 	}
+	if cfg.Record.Enable {
+		rec, err := tsdb.New(tsdb.Config{
+			Gather:            func() []byte { return f.MetricsText() },
+			MemoryBudgetBytes: cfg.Record.MemoryBudgetBytes,
+			ScrapeEvery:       cfg.Record.ScrapeEvery,
+			MinInterval:       cfg.Record.MinInterval,
+			Sync:              cfg.Record.Sync,
+			Objectives:        cfg.Record.SLOs,
+			Logf:              cfg.Record.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		f.recorder = rec
+	}
 	return f, nil
+}
+
+// Recorder exposes the fleet-level flight recorder; nil when recording is
+// disabled.
+func (f *Fleet) Recorder() *tsdb.Recorder { return f.recorder }
+
+// onShardRound is every shard's end-of-round hook. Each shard reports its
+// own completed-round count; Observe keeps the maximum, so the recorder's
+// clock is the fleet's progress clock (the same max-shard-rounds measure
+// the scenario harness polls). Runs on the shard's round-loop goroutine
+// with the shard's lock released.
+func (f *Fleet) onShardRound(rounds uint64) {
+	if f.recorder != nil {
+		f.recorder.Observe(rounds)
+	}
 }
 
 // buildShard constructs (or, when Config.DataDir is set, recovers) the
@@ -309,6 +352,7 @@ func (f *Fleet) buildShard(s int) (*server.Server, error) {
 		DataDir: dir, SnapshotEvery: f.cfg.SnapshotEvery,
 		SyncInterval: f.cfg.SyncInterval,
 		Obs:          f.cfg.Obs, WALSyncDelay: f.cfg.WALSyncDelay,
+		OnRound: f.onShardRound,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("fleet: building shard %d: %w", s, err)
@@ -497,6 +541,11 @@ func (f *Fleet) Stop() {
 	f.mu.Lock()
 	f.mergeLocked()
 	f.mu.Unlock()
+	if f.recorder != nil {
+		// All round loops are down, so no more Observe calls arrive; Close
+		// drains the async scraper. The store stays queryable after Stop.
+		f.recorder.Close()
+	}
 }
 
 // Drain blocks until every shard's queue and pending set are empty, a

@@ -18,6 +18,8 @@ import (
 //	GET  /metrics       — Prometheus text metrics with shard labels
 //	GET  /v1/rounds/slowest   — slowest rounds across shards; ?recent=<n>
 //	GET  /v1/jobs/{id}/trace  — sampled job lifecycle, any shard
+//	GET  /v1/query            — windowed queries over recorded fleet metrics
+//	GET  /v1/alerts           — fleet burn-rate SLO alert states
 func (f *Fleet) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(server.PathJobs, f.timedIngest(server.JobsHandler(f.Submit)))
@@ -33,5 +35,7 @@ func (f *Fleet) Handler() http.Handler {
 	}))
 	mux.HandleFunc(server.PathStatus, server.StatusHandler(func() interface{} { return f.Status() }))
 	mux.HandleFunc(server.PathMetrics, f.handleMetrics)
+	mux.HandleFunc(server.PathQuery, server.QueryHandler(f.Recorder))
+	mux.HandleFunc(server.PathAlerts, server.AlertsHandler(f.Recorder))
 	return mux
 }

@@ -21,9 +21,17 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	st := f.Status()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(f.MetricsText())
+}
+
+// MetricsText renders the fleet exposition as bytes. Split from the HTTP
+// handler because the fleet-level flight recorder scrapes the merged
+// exposition in-process on the shards' round clock.
+func (f *Fleet) MetricsText() []byte {
+	st := f.Status()
 	var b []byte
+	b = server.AppendBuildInfo(b)
 	head := func(name, typ, help string) {
 		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)...)
 	}
@@ -201,5 +209,8 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// provider through its partition view, so per-shard labels would just
 	// repeat one health record N times.
 	b = server.AppendFeedMetrics(b, st.Feed)
-	_, _ = w.Write(b)
+	if f.recorder != nil {
+		b = f.recorder.AppendMetrics(b, "waterwise_")
+	}
+	return b
 }

@@ -168,4 +168,32 @@ func TestQuantileFromBucketsEdges(t *testing.T) {
 	if got <= 0 || got > 1 {
 		t.Errorf("single-bucket p50 = %g, want in (0, 1]", got)
 	}
+	// Mismatched slice lengths are a caller bug, not a panic.
+	if got := QuantileFromBuckets([]float64{1, 2}, []uint64{3}, 0.5); got != 0 {
+		t.Errorf("mismatched lengths quantile = %g, want 0", got)
+	}
+	// A declared but empty histogram (all-zero cumulatives) has no quantile.
+	if got := QuantileFromBuckets(les, []uint64{0, 0, 0}, 0.5); got != 0 {
+		t.Errorf("zero-total quantile = %g, want 0", got)
+	}
+	// Rank landing exactly on a cumulative count interpolates to that
+	// bucket's own edge — the bucket boundary, not past it.
+	les3 := []float64{1, 2, math.Inf(1)}
+	cums3 := []uint64{5, 10, 10}
+	if got := QuantileFromBuckets(les3, cums3, 0.5); got != 1 {
+		t.Errorf("exact-edge p50 = %g, want 1", got)
+	}
+	// Out-of-range q clamps: below zero to the distribution's floor,
+	// above one to the last finite edge.
+	if got := QuantileFromBuckets(les3, cums3, -3); got != 0 {
+		t.Errorf("q<0 quantile = %g, want 0", got)
+	}
+	if got := QuantileFromBuckets(les3, cums3, 7); got != 2 {
+		t.Errorf("q>1 quantile = %g, want 2", got)
+	}
+	// All mass in a lone +Inf bucket: there is no finite edge to report,
+	// and the reconstruction says so rather than inventing one.
+	if got := QuantileFromBuckets([]float64{math.Inf(1)}, []uint64{5}, 0.5); !math.IsInf(got, 1) {
+		t.Errorf("lone-overflow quantile = %g, want +Inf", got)
+	}
 }

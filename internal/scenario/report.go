@@ -11,6 +11,7 @@ import (
 
 	"waterwise/internal/feed"
 	"waterwise/internal/trace"
+	"waterwise/internal/tsdb"
 )
 
 // Check is one evaluated SLO assertion.
@@ -48,12 +49,13 @@ type Report struct {
 	Submitted       int `json:"submitted"`
 	RejectedSubmits int `json:"rejected_submits"`
 	// Fleet counters at the end of the run.
-	Accepted  uint64 `json:"accepted"`
-	Rejected  uint64 `json:"rejected"`
-	Rounds    uint64 `json:"rounds"`
-	Decisions uint64 `json:"decisions"`
-	Merged    uint64 `json:"merged"`
-	Lost      uint64 `json:"lost"`
+	Accepted    uint64 `json:"accepted"`
+	Rejected    uint64 `json:"rejected"`
+	Rounds      uint64 `json:"rounds"`
+	Decisions   uint64 `json:"decisions"`
+	Merged      uint64 `json:"merged"`
+	Lost        uint64 `json:"lost"`
+	Unscheduled int    `json:"unscheduled"`
 	// Restarts counts supervisor-driven shard restarts.
 	Restarts uint64 `json:"restarts"`
 	// DecisionP99Ms is the fleet-merged decision-latency p99.
@@ -66,6 +68,11 @@ type Report struct {
 	FetchErrors    uint64 `json:"fetch_errors,omitempty"`
 	// FsyncP99Ms is the worst per-shard fsync-stall p99 (durable mode).
 	FsyncP99Ms float64 `json:"fsync_p99_ms,omitempty"`
+	// RecordedRounds is the flight recorder's newest scraped round, and
+	// Alerts the final burn-rate alert states (specs with Objectives or
+	// windowed assertions only).
+	RecordedRounds uint64       `json:"recorded_rounds,omitempty"`
+	Alerts         []tsdb.Alert `json:"alerts,omitempty"`
 }
 
 // evaluate reads the settled fleet and builds the report.
@@ -83,6 +90,7 @@ func (r *run) evaluate() (*Report, error) {
 		Submitted: r.submitted, RejectedSubmits: r.rejected,
 		Accepted: st.Accepted, Rejected: st.Rejected, Rounds: st.Rounds,
 		Decisions: st.Decisions, Merged: st.Merged, Lost: st.Lost,
+		Unscheduled:             st.Unscheduled,
 		Restarts:                r.fl.Restarts(),
 		MaxFeedStalenessSeconds: r.maxStaleness,
 		ForecastServed:          health.ForecastServed,
@@ -165,11 +173,76 @@ func (r *run) evaluate() (*Report, error) {
 		check("min-fsync-p99-ms", rep.FsyncP99Ms >= slo.MinFsyncP99Ms,
 			rep.FsyncP99Ms, slo.MinFsyncP99Ms, "fsync stall p99 never reached the injected level")
 	}
+	if rec := r.fl.Recorder(); rec != nil {
+		rep.RecordedRounds = rec.LastRound()
+		rep.Alerts = rec.Alerts()
+		for _, w := range slo.Windows {
+			r.checkWindow(rec, w, check)
+		}
+	}
 	rep.Pass = true
 	for _, c := range rep.Checks {
 		rep.Pass = rep.Pass && c.Ok
 	}
 	return rep, nil
+}
+
+// checkWindow evaluates one windowed assertion against the recorder.
+func (r *run) checkWindow(rec *tsdb.Recorder, w WindowAssertion, check func(name string, ok bool, value, bound float64, detail string)) {
+	switch w.Kind {
+	case WindowQuantile:
+		// Every trailing window ending in [FromRound, last] must hold the
+		// bound — one bad window anywhere after the exemption is a miss.
+		// Windows with no observations are skipped (a drained run's last
+		// rounds may place nothing), but at least one must have data or the
+		// assertion never measured anything.
+		last := rec.LastRound()
+		first := w.FromRound
+		if first < w.Window {
+			first = w.Window
+		}
+		worst, measured := 0.0, false
+		for end := first; end <= last; end++ {
+			q, ok := rec.Quantile(w.Series, w.Q, w.Window, end)
+			if !ok {
+				continue
+			}
+			measured = true
+			if ms := q * 1000; ms > worst {
+				worst = ms
+			}
+		}
+		detail := fmt.Sprintf("worst p%g over any %d-round window from round %d", w.Q*100, w.Window, first)
+		if !measured {
+			detail = fmt.Sprintf("no recorded observations of %s in any asserted window", w.Series)
+		}
+		check(w.String(), measured && worst <= w.MaxMs, worst, w.MaxMs, detail)
+	case WindowAlert:
+		obj, rule, _ := splitAlertRef(w.Alert)
+		var alert *tsdb.Alert
+		for _, a := range rec.Alerts() {
+			if a.Objective == obj && a.Rule == rule {
+				alert = &a
+				break
+			}
+		}
+		if alert == nil {
+			check(w.String(), false, 0, 0, fmt.Sprintf("recorder tracks no alert %q", w.Alert))
+			return
+		}
+		lo, hi := uint64(0), rec.LastRound()
+		if len(w.FiresBetween) == 2 {
+			lo, hi = w.FiresBetween[0], w.FiresBetween[1]
+		}
+		fired := alert.Fires > 0 && alert.FiredAtRound >= lo && alert.FiredAtRound <= hi
+		check(w.String()+"-fires", fired, float64(alert.FiredAtRound), float64(hi),
+			fmt.Sprintf("alert fired %d times, first-fire round %d outside [%d, %d]", alert.Fires, alert.FiredAtRound, lo, hi))
+		if w.ClearsBy > 0 {
+			cleared := !alert.Firing && alert.ClearedAtRound > 0 && alert.ClearedAtRound <= w.ClearsBy
+			check(w.String()+"-clears", cleared, float64(alert.ClearedAtRound), float64(w.ClearsBy),
+				fmt.Sprintf("alert still firing=%v, cleared at round %d, want cleared by %d", alert.Firing, alert.ClearedAtRound, w.ClearsBy))
+		}
+	}
 }
 
 // WriteReports merges reports into the JSON report file (conventionally

@@ -14,6 +14,7 @@ import (
 	"waterwise/internal/fleet"
 	"waterwise/internal/region"
 	"waterwise/internal/server"
+	"waterwise/internal/tsdb"
 )
 
 // TestBundledSpecsParse pins the bundled catalogue: every embedded spec
@@ -69,13 +70,56 @@ func TestSpecValidation(t *testing.T) {
 	}
 }
 
+// TestWindowAssertionValidation pins the windowed-SLO grammar's guard
+// rails: bad kinds, dangling alert references, and malformed ranges are
+// all spec errors, and quantile defaults fill in.
+func TestWindowAssertionValidation(t *testing.T) {
+	bad := []string{
+		`{"name":"x","slos":{"windows":[{"kind":"percentile"}]}}`,
+		`{"name":"x","slos":{"windows":[{"kind":"quantile","max_ms":10}]}}`,
+		`{"name":"x","slos":{"windows":[{"kind":"quantile","series":"s"}]}}`,
+		`{"name":"x","slos":{"windows":[{"kind":"quantile","series":"s","max_ms":10,"q":1.5}]}}`,
+		`{"name":"x","slos":{"windows":[{"kind":"alert","alert":"availability-fast"}]}}`,
+		`{"name":"x","slos":{"windows":[{"kind":"alert","alert":"availability/fast"}]}}`,
+		`{"name":"x","objectives":[{"name":"availability","target":0.99,"bad":"b","total":"t"}],
+		  "slos":{"windows":[{"kind":"alert","alert":"availability/fast","fires_between":[9,3]}]}}`,
+		`{"name":"x","objectives":[{"name":"availability","target":0.99,"bad":"b","total":"t"}],
+		  "slos":{"windows":[{"kind":"alert","alert":"availability/nope"}]}}`,
+		`{"name":"x","objectives":[{"name":"bad-objective","target":2,"bad":"b","total":"t"}]}`,
+	}
+	for _, spec := range bad {
+		if _, err := Parse([]byte(spec)); err == nil {
+			t.Errorf("invalid spec accepted: %s", spec)
+		}
+	}
+	s, err := Parse([]byte(`{"name":"x",
+		"objectives":[{"name":"availability","target":0.99,"bad":"b","total":"t"}],
+		"slos":{"windows":[
+			{"kind":"quantile","series":"s","max_ms":10},
+			{"kind":"alert","alert":"availability/fast","fires_between":[3,9],"clears_by":12}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := s.SLOs.Windows[0]
+	if w.Q != 0.99 || w.Window != 5 {
+		t.Errorf("quantile defaults not filled: %+v", w)
+	}
+	// The alert reference resolves against the objective's defaulted rules.
+	if len(s.Objectives[0].Rules) == 0 {
+		t.Error("objective rules not defaulted")
+	}
+}
+
 // equivSpec is the no-fault scenario the equivalence test runs: every
 // injection hook present and armed at zero — chaos wrapper, supervisor,
-// fsync-delay hook, pacing — but nothing ever fired.
+// fsync-delay hook, pacing, and the flight recorder with SLO objectives
+// scraping every round — but nothing ever fired.
 var equivSpec = Spec{
 	Name: "equivalence-probe", Seed: 5, Shards: 2, Hours: 4,
 	Round: Duration(15 * time.Minute), JobsPerDay: 1500,
 	Pacing: Duration(300 * time.Microsecond), Supervisor: true,
+	Objectives: []tsdb.Objective{{Name: "availability", Target: 0.999,
+		Bad: "waterwise_jobs_rejected_total", Good: "waterwise_jobs_accepted_total"}},
 }
 
 // TestScenarioNoFaultEquivalence is the harness's own correctness bar: a

@@ -20,6 +20,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+
+	"waterwise/internal/tsdb"
 )
 
 // Duration is a time.Duration that marshals as a Go duration string
@@ -148,6 +150,58 @@ func (f FaultSpec) String() string {
 	return s
 }
 
+// Window assertion kinds accepted by WindowAssertion.Kind.
+const (
+	// WindowQuantile asserts a recorded histogram quantile stays under a
+	// bound over every window of the run's recorded history.
+	WindowQuantile = "quantile"
+	// WindowAlert asserts a burn-rate SLO alert's fire/clear trajectory.
+	WindowAlert = "alert"
+)
+
+// WindowAssertion is one windowed check against the fleet's metrics
+// flight recorder — time-indexed where the flat SLOSpec fields are
+// end-of-run aggregates. A quantile assertion demands "pQ of Series over
+// every trailing Window rounds stays <= MaxMs from FromRound on" (the
+// shape of "p99 recovered within K rounds of the fault clearing"); an
+// alert assertion demands a named burn-rate alert actually fired inside
+// a round range and, optionally, cleared by a deadline.
+type WindowAssertion struct {
+	// Kind is WindowQuantile or WindowAlert.
+	Kind string `json:"kind"`
+
+	// Series names the histogram family for WindowQuantile (without
+	// _bucket), e.g. "waterwise_fleet_decision_latency_seconds".
+	Series string `json:"series,omitempty"`
+	// Q is the quantile in (0,1]; 0 defaults to 0.99.
+	Q float64 `json:"q,omitempty"`
+	// Window is the trailing window length in rounds (default 5).
+	Window uint64 `json:"window,omitempty"`
+	// FromRound is the first asserted window end; windows ending earlier
+	// (e.g. during the fault itself) are exempt.
+	FromRound uint64 `json:"from_round,omitempty"`
+	// MaxMs bounds the quantile, in milliseconds.
+	MaxMs float64 `json:"max_ms,omitempty"`
+
+	// Alert names the asserted alert as "objective/rule" for WindowAlert,
+	// e.g. "availability/fast".
+	Alert string `json:"alert,omitempty"`
+	// FiresBetween is the [lo, hi] round range the alert must first fire
+	// in; empty only demands it fired at some point.
+	FiresBetween []uint64 `json:"fires_between,omitempty"`
+	// ClearsBy, when > 0, demands the alert cleared at or before this
+	// round and is not firing at the end of the run.
+	ClearsBy uint64 `json:"clears_by,omitempty"`
+}
+
+// String renders the assertion for check names and reports.
+func (w WindowAssertion) String() string {
+	if w.Kind == WindowAlert {
+		return "alert:" + w.Alert
+	}
+	return fmt.Sprintf("quantile:%s@p%g", w.Series, w.Q*100)
+}
+
 // SLOSpec is the assertion set evaluated after the run from the fleet's
 // own status, observability, and feed-health surfaces. Zero-valued
 // fields are unchecked, so a spec states only the objectives it cares
@@ -187,6 +241,10 @@ type SLOSpec struct {
 	// MinFsyncP99Ms asserts some shard's fsync-stall p99 reached this
 	// level (proof slow_fsync actually landed).
 	MinFsyncP99Ms float64 `json:"min_fsync_p99_ms,omitempty"`
+	// Windows are time-indexed assertions against the run's recorded
+	// metrics history; any entry (or any Spec.Objectives) arms the
+	// fleet's flight recorder in deterministic sync mode.
+	Windows []WindowAssertion `json:"windows,omitempty"`
 }
 
 // Submit modes accepted by Spec.Submit.
@@ -244,6 +302,10 @@ type Spec struct {
 	Durable bool `json:"durable,omitempty"`
 	// Faults is the timed fault schedule (possibly empty: a plain run).
 	Faults []FaultSpec `json:"faults,omitempty"`
+	// Objectives are burn-rate SLO objectives evaluated by the fleet's
+	// flight recorder on every round during the run; their alert
+	// trajectories are asserted with SLOs.Windows alert entries.
+	Objectives []tsdb.Objective `json:"objectives,omitempty"`
 	// SLOs are the post-run assertions.
 	SLOs SLOSpec `json:"slos,omitempty"`
 }
@@ -325,7 +387,70 @@ func (s Spec) WithDefaults() (Spec, error) {
 			return s, fmt.Errorf("scenario %s: fault %d has unknown kind %q", s.Name, i, f.Kind)
 		}
 	}
+	for i := range s.Objectives {
+		if err := s.Objectives[i].Validate(); err != nil {
+			return s, fmt.Errorf("scenario %s: objective %d: %w", s.Name, i, err)
+		}
+	}
+	for i := range s.SLOs.Windows {
+		w := &s.SLOs.Windows[i]
+		switch w.Kind {
+		case WindowQuantile:
+			if w.Series == "" {
+				return s, fmt.Errorf("scenario %s: window %d: quantile assertion needs a series", s.Name, i)
+			}
+			if w.MaxMs <= 0 {
+				return s, fmt.Errorf("scenario %s: window %d: quantile assertion needs max_ms > 0", s.Name, i)
+			}
+			if w.Q == 0 {
+				w.Q = 0.99
+			}
+			if w.Q < 0 || w.Q > 1 {
+				return s, fmt.Errorf("scenario %s: window %d: quantile %g outside (0, 1]", s.Name, i, w.Q)
+			}
+			if w.Window == 0 {
+				w.Window = 5
+			}
+		case WindowAlert:
+			obj, rule, ok := splitAlertRef(w.Alert)
+			if !ok {
+				return s, fmt.Errorf("scenario %s: window %d: alert reference %q is not objective/rule", s.Name, i, w.Alert)
+			}
+			found := false
+			for _, o := range s.Objectives {
+				if o.Name != obj {
+					continue
+				}
+				for _, r := range o.Rules {
+					if r.Name == rule {
+						found = true
+					}
+				}
+			}
+			if !found {
+				return s, fmt.Errorf("scenario %s: window %d: alert %q names no declared objective rule", s.Name, i, w.Alert)
+			}
+			if n := len(w.FiresBetween); n != 0 && n != 2 {
+				return s, fmt.Errorf("scenario %s: window %d: fires_between wants [lo, hi], got %d entries", s.Name, i, n)
+			}
+			if len(w.FiresBetween) == 2 && w.FiresBetween[0] > w.FiresBetween[1] {
+				return s, fmt.Errorf("scenario %s: window %d: fires_between [%d, %d] is inverted", s.Name, i, w.FiresBetween[0], w.FiresBetween[1])
+			}
+		default:
+			return s, fmt.Errorf("scenario %s: window %d has unknown kind %q", s.Name, i, w.Kind)
+		}
+	}
 	return s, nil
+}
+
+// splitAlertRef parses an "objective/rule" alert reference.
+func splitAlertRef(ref string) (objective, rule string, ok bool) {
+	for i := 0; i < len(ref); i++ {
+		if ref[i] == '/' {
+			return ref[:i], ref[i+1:], i > 0 && i < len(ref)-1
+		}
+	}
+	return "", "", false
 }
 
 // Parse decodes and validates one spec from its JSON form. Unknown

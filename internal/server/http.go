@@ -48,6 +48,11 @@ const (
 	// PathRounds serves the slowest scheduling rounds' stage breakdowns;
 	// /v1/jobs/{id}/trace (under PathJobs) serves sampled job lifecycles.
 	PathRounds = "/v1/rounds/slowest"
+	// PathQuery and PathAlerts serve the metrics flight recorder: windowed
+	// queries over recorded series and burn-rate SLO alert states. 404
+	// unless recording is enabled (RecordConfig / -record-metrics).
+	PathQuery  = "/v1/query"
+	PathAlerts = "/v1/alerts"
 )
 
 // SubmitResponse is the POST /v1/jobs reply — shared with the fleet
@@ -74,6 +79,8 @@ type DecisionsResponse struct {
 //	GET  /metrics             — Prometheus text metrics
 //	GET  /v1/rounds/slowest   — slowest rounds' stage breakdowns; ?recent=<n>
 //	GET  /v1/jobs/{id}/trace  — sampled job lifecycle trace
+//	GET  /v1/query            — windowed queries over recorded metrics history
+//	GET  /v1/alerts           — burn-rate SLO alert states
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc(PathJobs, s.timedIngest(JobsHandler(s.Submit)))
@@ -95,6 +102,8 @@ func (s *Server) Handler() http.Handler {
 	}))
 	mux.HandleFunc(PathStatus, StatusHandler(func() interface{} { return s.Status() }))
 	mux.HandleFunc(PathMetrics, s.handleMetrics)
+	mux.HandleFunc(PathQuery, QueryHandler(s.Recorder))
+	mux.HandleFunc(PathAlerts, AlertsHandler(s.Recorder))
 	return mux
 }
 

@@ -19,8 +19,15 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
 	}
-	st := s.Status()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(s.MetricsText())
+}
+
+// MetricsText renders the full exposition as bytes. Split from the HTTP
+// handler because the metrics flight recorder scrapes it in-process on
+// the round clock — one renderer, two consumers.
+func (s *Server) MetricsText() []byte {
+	st := s.Status()
 	var b []byte
 	counter := func(name, help string, v float64) {
 		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)...)
@@ -28,6 +35,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	gauge := func(name, help string, v float64) {
 		b = append(b, fmt.Sprintf("# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)...)
 	}
+	b = AppendBuildInfo(b)
 	counter("waterwise_jobs_accepted_total", "Jobs accepted into the ingest queue.", float64(st.Accepted))
 	counter("waterwise_jobs_rejected_total", "Jobs rejected (backpressure, validation, duplicates).", float64(st.Rejected))
 	counter("waterwise_rounds_total", "Scheduling rounds run.", float64(st.Rounds))
@@ -69,7 +77,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		counter("waterwise_wal_recovered_records_total", "Log records replayed at the last restart.", float64(st.WAL.RecoveredRecords))
 	}
 	b = AppendFeedMetrics(b, st.Feed)
-	_, _ = w.Write(b)
+	if s.recorder != nil {
+		b = s.recorder.AppendMetrics(b, "waterwise_")
+	}
+	return b
 }
 
 // AppendFeedMetrics renders the environment-feed health block — provider

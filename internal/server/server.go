@@ -35,6 +35,7 @@ import (
 	"waterwise/internal/region"
 	"waterwise/internal/trace"
 	"waterwise/internal/transfer"
+	"waterwise/internal/tsdb"
 	"waterwise/internal/units"
 	"waterwise/internal/wal"
 	"waterwise/internal/workload"
@@ -100,6 +101,16 @@ type Config struct {
 	// per-round trace ring, sampled job lifecycle traces (see ObsConfig).
 	// Measurement only: enabling or disabling it never changes decisions.
 	Obs ObsConfig
+	// Record configures the metrics flight recorder (see RecordConfig):
+	// round-clock self-scrapes of /metrics into an in-process TSDB with
+	// windowed queries and burn-rate SLO alerts. Measurement only.
+	Record RecordConfig
+	// OnRound, when non-nil, is called with the completed-rounds count
+	// after each scheduling round, outside the server's lock — the hook
+	// the fleet uses to drive its own recorder on the shards' round
+	// clock. Must not block for long: it runs on the round loop's
+	// goroutine between rounds.
+	OnRound func(rounds uint64)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -327,6 +338,9 @@ type Server struct {
 	recoveredRecs uint64
 	recoveredSnap bool
 
+	// recorder is the metrics flight recorder (nil unless Record.Enable).
+	recorder *tsdb.Recorder
+
 	started  bool
 	stopped  bool
 	stopCh   chan struct{}
@@ -367,6 +381,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.DataDir != "" {
 		if err := s.openDurable(); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.Record.Enable {
+		if err := s.newRecorder(); err != nil {
 			return nil, err
 		}
 	}
@@ -560,6 +579,11 @@ func (s *Server) Stop() {
 		_ = s.wlog.Close()
 	}
 	s.mu.Unlock()
+	if s.recorder != nil {
+		// The loop is down, so no more rounds arrive; Close drains the
+		// async scraper. The store stays queryable after Stop.
+		s.recorder.Close()
+	}
 }
 
 // abandonLocked abandons every pending job, releasing their ids and
@@ -803,11 +827,14 @@ func (s *Server) runAccelerated() {
 		}
 		s.nextK = k
 		s.roundLocked()
+		rounds := s.rounds
 		// Yield the lock between rounds: a long drain must not starve the
 		// HTTP endpoints (Submit/Status/Decisions) for its whole duration.
 		// Go's mutex hands off to waiters that have queued >1ms, so this
-		// bounds their latency to about one round.
+		// bounds their latency to about one round. The round hooks run in
+		// this gap — their gather path re-enters Status, which needs mu.
 		s.mu.Unlock()
+		s.notifyRound(rounds)
 		s.mu.Lock()
 	}
 }
@@ -848,7 +875,9 @@ func (s *Server) runPaced() {
 			s.nextK = k
 		}
 		s.roundLocked()
+		rounds := s.rounds
 		s.mu.Unlock()
+		s.notifyRound(rounds)
 	}
 }
 

@@ -1,0 +1,286 @@
+package tsdb
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"waterwise/internal/obs"
+)
+
+// fakeExposition renders a minimal valid exposition with two counters the
+// tests steer directly.
+func fakeExposition(good, bad uint64) []byte {
+	return []byte(fmt.Sprintf(
+		"# HELP req_good_total Successful requests.\n# TYPE req_good_total counter\nreq_good_total %d\n"+
+			"# HELP req_bad_total Failed requests.\n# TYPE req_bad_total counter\nreq_bad_total %d\n",
+		good, bad))
+}
+
+func TestObjectiveValidate(t *testing.T) {
+	bad := []Objective{
+		{},
+		{Name: "x", Target: 0},
+		{Name: "x", Target: 1.5, Bad: "b", Total: "t"},
+		{Name: "x", Target: 0.9},                                    // no form
+		{Name: "x", Target: 0.9, Bad: "b"},                          // ratio missing total/good
+		{Name: "x", Target: 0.9, Family: "f"},                       // latency missing threshold
+		{Name: "x", Target: 0.9, Bad: "b", Total: "t", Family: "f"}, // both forms
+		{Name: "x", Target: 0.9, Bad: "b", Total: "t", Rules: []BurnRule{{Name: "r", Long: 1, Short: 5, Factor: 2}}}, // short > long
+		{Name: "x", Target: 0.9, Bad: "b", Total: "t", Rules: []BurnRule{{Name: "r", Long: 5, Short: 1, Factor: 0}}}, // factor
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, o)
+		}
+	}
+	good := Objective{Name: "avail", Target: 0.99, Bad: "b", Total: "t"}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Validate rejected valid objective: %v", err)
+	}
+	if len(good.Rules) != 2 || good.Rules[0].Name != "fast" {
+		t.Errorf("defaulted rules = %+v", good.Rules)
+	}
+}
+
+// TestBurnRateFireAndClear drives a sync recorder through healthy rounds,
+// an error storm, and recovery, and checks the multi-window alert fires
+// during the storm and clears after it — and that the pre-storm blip of a
+// single bad round does NOT fire (the long window protects against it).
+func TestBurnRateFireAndClear(t *testing.T) {
+	var good, bad atomic.Uint64
+	var logs []string
+	rec, err := New(Config{
+		Gather: func() []byte { return fakeExposition(good.Load(), bad.Load()) },
+		Sync:   true,
+		Objectives: []Objective{{
+			Name:   "availability",
+			Target: 0.9, // 10% budget: errFrac 0.5 = burn 5
+			Bad:    "req_bad_total",
+			Total:  "", Good: "req_good_total",
+			Rules: []BurnRule{{Name: "fast", Long: 4, Short: 1, Factor: 3}},
+		}},
+		Logf: func(f string, a ...any) { logs = append(logs, fmt.Sprintf(f, a...)) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+
+	round := uint64(0)
+	step := func(g, b uint64) {
+		round++
+		good.Add(g)
+		bad.Add(b)
+		rec.Observe(round)
+	}
+	// Healthy baseline.
+	for i := 0; i < 6; i++ {
+		step(100, 0)
+	}
+	// One bad blip: short window burns but the long window holds it back.
+	step(40, 60)
+	if a := rec.Alerts(); a[0].Firing {
+		t.Fatalf("alert fired on a single-round blip: %+v", a[0])
+	}
+	step(100, 0) // recover
+	// Sustained storm: every request fails.
+	var stormStart uint64
+	for i := 0; i < 6; i++ {
+		step(0, 100)
+		if a := rec.Alerts(); a[0].Firing && stormStart == 0 {
+			stormStart = round
+		}
+	}
+	alerts := rec.Alerts()
+	if len(alerts) != 1 || !alerts[0].Firing {
+		t.Fatalf("alert not firing after sustained storm: %+v", alerts)
+	}
+	if stormStart == 0 || alerts[0].FiredAtRound != stormStart {
+		t.Errorf("fired_at=%d, first observed firing at %d", alerts[0].FiredAtRound, stormStart)
+	}
+	// Recovery: healthy rounds clear the short window.
+	for i := 0; i < 3; i++ {
+		step(100, 0)
+	}
+	alerts = rec.Alerts()
+	if alerts[0].Firing {
+		t.Fatalf("alert still firing after recovery: %+v", alerts[0])
+	}
+	if alerts[0].ClearedAtRound <= alerts[0].FiredAtRound || alerts[0].Fires != 1 {
+		t.Errorf("transitions: %+v", alerts[0])
+	}
+	joined := strings.Join(logs, "\n")
+	if !strings.Contains(joined, "slo alert firing") || !strings.Contains(joined, "slo alert cleared") {
+		t.Errorf("transition logs missing:\n%s", joined)
+	}
+}
+
+// TestNoDataHoldsState pins the no-data rule: when a window holds zero
+// events (a feed in backoff fetches nothing), the alert holds its state
+// instead of clearing on silence.
+func TestNoDataHoldsState(t *testing.T) {
+	var good, bad atomic.Uint64
+	rec, err := New(Config{
+		Gather: func() []byte { return fakeExposition(good.Load(), bad.Load()) },
+		Sync:   true,
+		Objectives: []Objective{{
+			Name: "avail", Target: 0.9,
+			Bad: "req_bad_total", Good: "req_good_total",
+			Rules: []BurnRule{{Name: "fast", Long: 2, Short: 1, Factor: 2}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	round := uint64(0)
+	step := func(g, b uint64) {
+		round++
+		good.Add(g)
+		bad.Add(b)
+		rec.Observe(round)
+	}
+	step(10, 0)
+	step(0, 10)
+	step(0, 10)
+	if a := rec.Alerts(); !a[0].Firing {
+		t.Fatalf("alert should fire: %+v", a[0])
+	}
+	// Silence: no events at all for many rounds. State must hold.
+	for i := 0; i < 5; i++ {
+		step(0, 0)
+	}
+	if a := rec.Alerts(); !a[0].Firing {
+		t.Errorf("alert cleared on no-data silence: %+v", a[0])
+	}
+	// Real recovery clears it.
+	step(50, 0)
+	if a := rec.Alerts(); a[0].Firing {
+		t.Errorf("alert held after real recovery: %+v", a[0])
+	}
+}
+
+// TestLatencyObjective drives a latency-form objective from a real
+// histogram rendered through the exposition.
+func TestLatencyObjective(t *testing.T) {
+	var h obs.Histogram
+	gather := func() []byte {
+		snap := h.Snapshot()
+		return snap.AppendProm(nil, "lat_seconds", "Latency.", "", true)
+	}
+	rec, err := New(Config{
+		Gather: gather,
+		Sync:   true,
+		Objectives: []Objective{{
+			Name: "latency", Target: 0.9,
+			Family: "lat_seconds", ThresholdMs: 100,
+			Rules: []BurnRule{{Name: "fast", Long: 3, Short: 1, Factor: 3}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	round := uint64(0)
+	step := func(v float64, n int) {
+		round++
+		for i := 0; i < n; i++ {
+			h.Record(v)
+		}
+		rec.Observe(round)
+	}
+	for i := 0; i < 4; i++ {
+		step(0.001, 50)
+	}
+	if a := rec.Alerts(); a[0].Firing {
+		t.Fatalf("latency alert fired while fast: %+v", a[0])
+	}
+	for i := 0; i < 4; i++ {
+		step(5.0, 50) // every observation blows the 100ms threshold
+	}
+	if a := rec.Alerts(); !a[0].Firing {
+		t.Fatalf("latency alert did not fire while slow: %+v", a[0])
+	}
+	for i := 0; i < 2; i++ {
+		step(0.001, 50)
+	}
+	if a := rec.Alerts(); a[0].Firing {
+		t.Errorf("latency alert did not clear after recovery: %+v", a[0])
+	}
+}
+
+// TestRecorderAsyncCoalesce floods an async recorder and checks it
+// coalesces under pressure (bounded overhead) while still recording the
+// newest round after a drain.
+func TestRecorderAsyncCoalesce(t *testing.T) {
+	var good atomic.Uint64
+	rec, err := New(Config{
+		Gather: func() []byte { return fakeExposition(good.Load(), 0) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := uint64(1); r <= 500; r++ {
+		good.Add(1)
+		rec.Observe(r)
+	}
+	rec.Close() // drains the scraper
+	st := rec.Stats()
+	if st.Scrapes == 0 {
+		t.Fatal("async recorder never scraped")
+	}
+	if st.LastRound != 500 && st.CoalescedRounds == 0 {
+		// Either the drain caught round 500 or some rounds were coalesced;
+		// both being false means Observe lost rounds silently.
+		t.Errorf("last=%d coalesced=%d scrapes=%d", st.LastRound, st.CoalescedRounds, st.Scrapes)
+	}
+	if _, ok := rec.Increase("req_good_total", 10, 0); !ok {
+		t.Error("no recorded data after async run")
+	}
+}
+
+// TestRecorderMetricsBlock checks the recorder's own exposition block
+// parses and lints cleanly with the production prefix.
+func TestRecorderMetricsBlock(t *testing.T) {
+	rec, err := New(Config{Gather: func() []byte { return fakeExposition(1, 0) }, Sync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	rec.Observe(1)
+	b := rec.AppendMetrics(nil, "waterwise_")
+	if err := obs.LintProm(b); err != nil {
+		t.Fatalf("recorder metrics block fails lint: %v\n%s", err, b)
+	}
+	fams, err := obs.ParseProm(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"waterwise_tsdb_series", "waterwise_tsdb_scrapes_total", "waterwise_alerts_firing", "waterwise_tsdb_evicted_chunks_total"} {
+		if fams[want] == nil {
+			t.Errorf("family %s missing from recorder block", want)
+		}
+	}
+}
+
+// TestRecorderScrapeEvery pins the stride: ScrapeEvery=3 scrapes roughly
+// every third round, never more.
+func TestRecorderScrapeEvery(t *testing.T) {
+	rec, err := New(Config{
+		Gather:      func() []byte { return fakeExposition(1, 0) },
+		Sync:        true,
+		ScrapeEvery: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	for r := uint64(1); r <= 30; r++ {
+		rec.Observe(r)
+	}
+	if st := rec.Stats(); st.Scrapes != 10 {
+		t.Errorf("scrapes = %d with stride 3 over 30 rounds, want 10", st.Scrapes)
+	}
+}

@@ -34,6 +34,7 @@ import (
 	"waterwise/internal/server"
 	"waterwise/internal/trace"
 	"waterwise/internal/transfer"
+	"waterwise/internal/tsdb"
 )
 
 // Re-exported core types. The aliases make the full simulator vocabulary
@@ -476,6 +477,18 @@ type (
 	// ObsSummary is the observability digest in ServerStatus/FleetStatus:
 	// histogram-backed decision latency and round time quantiles.
 	ObsSummary = server.ObsSummary
+	// RecordConfig configures the metrics flight recorder: round-clock
+	// self-scrapes of the exposition into a bounded in-process TSDB with
+	// windowed queries (/v1/query) and burn-rate SLO alerts (/v1/alerts).
+	RecordConfig = server.RecordConfig
+	// SLOObjective is one declarative service-level objective evaluated
+	// by the recorder's burn-rate engine (RecordConfig.SLOs).
+	SLOObjective = tsdb.Objective
+	// SLOBurnRule is one (long, short) burn-rate window pair of an
+	// SLOObjective.
+	SLOBurnRule = tsdb.BurnRule
+	// SLOAlert is the live state of one (objective, rule) alert.
+	SLOAlert = tsdb.Alert
 )
 
 // ErrQueueFull is the online service's backpressure rejection.
@@ -518,6 +531,9 @@ type ServerConfig struct {
 	// traces, sampled job lifecycles (enabled by default; Obs.Disable
 	// turns it off). Measurement only: never affects decisions.
 	Obs ObsConfig
+	// Record enables the metrics flight recorder (off by default; see
+	// RecordConfig). Measurement only: never affects decisions.
+	Record RecordConfig
 }
 
 // NewServer builds the online scheduling service over an environment and a
@@ -531,7 +547,7 @@ func NewServer(env *Environment, s Scheduler, cfg ServerConfig) (*Server, error)
 		Tolerance: cfg.Tolerance, Round: cfg.Round, TimeScale: cfg.TimeScale,
 		QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
 		DataDir: cfg.DataDir, SnapshotEvery: cfg.SnapshotEvery,
-		Obs: cfg.Obs,
+		Obs: cfg.Obs, Record: cfg.Record,
 	})
 }
 
@@ -587,6 +603,9 @@ type FleetConfig struct {
 	SnapshotEvery int
 	// Obs tunes every shard's observability layer (see ServerConfig.Obs).
 	Obs ObsConfig
+	// Record enables the fleet-level metrics flight recorder over the
+	// merged gateway exposition (off by default; see RecordConfig).
+	Record RecordConfig
 }
 
 // NewFleet builds the sharded serving fleet over an environment. Call
@@ -604,7 +623,7 @@ func NewFleet(env *Environment, cfg FleetConfig) (*Fleet, error) {
 		Tolerance: cfg.Tolerance, Round: cfg.Round, TimeScale: cfg.TimeScale,
 		QueueCap: cfg.QueueCap, DecisionLogCap: cfg.DecisionLogCap,
 		DataDir: cfg.DataDir, SnapshotEvery: cfg.SnapshotEvery,
-		Obs: cfg.Obs,
+		Obs: cfg.Obs, Record: cfg.Record,
 	})
 }
 

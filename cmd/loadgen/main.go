@@ -10,6 +10,14 @@
 // tails /v1/decisions and matches decisions to submissions for latency
 // percentiles.
 //
+// With -protocol stream the same open-loop schedule drives the binary
+// wire protocol (internal/wire) instead: one persistent connection per
+// target carries batched Submit frames and server-pushed Decisions
+// frames, reaching rates HTTP request-per-batch cannot. Latency
+// matching is shared — pushed and polled decisions feed one matcher and
+// one percentile path — and stream backpressure (per-job queue-full
+// reply codes) is counted as rejected, exactly like HTTP 429.
+//
 // One generator can drive a whole sharded deployment: -targets names
 // several endpoints (a fleet gateway counts as one; standalone waterwised
 // -partition shards count as one each), each is asked which regions it
@@ -24,6 +32,13 @@
 //	-url       service base URL              (default http://127.0.0.1:8080)
 //	-targets   comma-separated base URLs; jobs route to the target
 //	           serving their home region    (default: just -url)
+//	-protocol  transport for submits and decisions: http
+//	           (POST /v1/jobs + poll /v1/decisions) or stream
+//	           (persistent binary connection, internal/wire)
+//	                                         (default http)
+//	-stream-targets  comma-separated host:port stream addresses,
+//	           parallel to -targets (the HTTP endpoints still serve
+//	           status and metrics); required with -protocol stream
 //	-rate      offered arrival rate, jobs/s  (default 100)
 //	-duration  wall-clock load window        (default 10s)
 //	-trace     borg|alibaba                  (default borg)
@@ -35,6 +50,13 @@
 //	           replayed submit dedupes server-side instead of
 //	           double-scheduling              (default 2)
 //	-seed      generator seed                (default 7)
+//	-gen-window  simulated-time span the arrivals are drawn from;
+//	           sets how many scheduling rounds the jobs spread over
+//	           in accelerated mode           (default 1h)
+//	-trace-submits  send the trace's simulated submit times (replay
+//	           mode) instead of letting the server stamp arrivals
+//	           "now"; required for offered rates past the
+//	           arrival-stamped solver ceiling (default false)
 //	-id-base   base for client-assigned job ids; 0 derives one
 //	           from the wall clock so successive runs against a
 //	           long-lived daemon never collide. Set it explicitly
@@ -78,6 +100,7 @@ func main() {
 type report struct {
 	URL          string   `json:"url"`
 	Targets      []string `json:"targets,omitempty"`
+	Protocol     string   `json:"protocol"`
 	TraceStyle   string   `json:"trace_style"`
 	NominalRate  float64  `json:"nominal_rate_jobs_per_sec"`
 	OfferedRate  float64  `json:"offered_rate_jobs_per_sec"`
@@ -117,6 +140,8 @@ func run() error {
 	var (
 		baseURL    = flag.String("url", "http://127.0.0.1:8080", "service base URL")
 		targetsCSV = flag.String("targets", "", "comma-separated service base URLs (default: -url)")
+		protocol   = flag.String("protocol", "http", "transport for submits and decisions: http or stream")
+		streamCSV  = flag.String("stream-targets", "", "comma-separated host:port stream addresses, parallel to -targets (required with -protocol stream)")
 		rate       = flag.Float64("rate", 100, "offered arrival rate (jobs/sec)")
 		duration   = flag.Duration("duration", 10*time.Second, "wall-clock load window")
 		style      = flag.String("trace", "borg", "arrival process: borg|alibaba")
@@ -125,6 +150,8 @@ func run() error {
 		drain      = flag.Duration("drain", 30*time.Second, "extra wait for in-flight decisions")
 		retries    = flag.Int("retries", 2, "extra POST attempts per batch on connection errors or 5xx")
 		seed       = flag.Int64("seed", 7, "generator seed")
+		genWindow  = flag.Duration("gen-window", time.Hour, "simulated-time span the arrivals are drawn from (sets how many scheduling rounds the jobs spread over)")
+		traceSub   = flag.Bool("trace-submits", false, "send the trace's simulated submit times with each job (replay mode) instead of letting the server stamp arrivals \"now\"; spreads high offered rates across many small rounds")
 		idBaseFlag = flag.Int("id-base", 0, "base for client-assigned job ids (0: derive from the wall clock)")
 		tsFile     = flag.String("timeseries", "", "CSV file of periodic client-side latency percentile samples (empty: off)")
 		sampleIv   = flag.Duration("sample", time.Second, "timeseries sample interval")
@@ -144,6 +171,22 @@ func run() error {
 	}
 	if len(targets) == 0 {
 		return fmt.Errorf("no targets")
+	}
+	var streamAddrs []string
+	switch *protocol {
+	case "http":
+	case "stream":
+		for _, a := range strings.Split(*streamCSV, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				streamAddrs = append(streamAddrs, a)
+			}
+		}
+		if len(streamAddrs) != len(targets) {
+			return fmt.Errorf("-protocol stream needs -stream-targets with one host:port per target (%d targets, %d stream addresses)",
+				len(targets), len(streamAddrs))
+		}
+	default:
+		return fmt.Errorf("unknown -protocol %q (want http or stream)", *protocol)
 	}
 
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -175,16 +218,18 @@ func run() error {
 	}
 	sort.Slice(regions, func(i, j int) bool { return regions[i] < regions[j] })
 
-	// Generate arrivals over a one-hour generator window and compress the
-	// offsets into the wall window, preserving the process's burst
-	// structure. JobsPerDay is chosen so the window holds rate*duration
-	// expected arrivals.
-	const genWindow = time.Hour
+	// Generate arrivals over the generator window (simulated time) and
+	// compress the offsets into the wall window, preserving the process's
+	// burst structure. JobsPerDay is chosen so the window holds
+	// rate*duration expected arrivals. The window also sets how many
+	// scheduling rounds the jobs spread over in accelerated mode: high
+	// offered rates want a wider window (say 24h), or every job lands in
+	// a handful of simulated rounds and per-round solves balloon.
 	wantJobs := *rate * duration.Seconds()
 	cfg := trace.Config{
 		Start:      time.Date(2023, 7, 3, 8, 12, 0, 0, time.UTC), // a weekday morning where diurnal x weekly modulation ≈ 1
-		Duration:   genWindow,
-		JobsPerDay: wantJobs * float64(24*time.Hour/genWindow),
+		Duration:   *genWindow,
+		JobsPerDay: wantJobs * (24 * time.Hour).Seconds() / genWindow.Seconds(),
 		Regions:    regions,
 		Seed:       *seed,
 	}
@@ -201,7 +246,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	compress := float64(*duration) / float64(genWindow)
+	compress := float64(*duration) / float64(*genWindow)
 	// Client-assigned ids: the trace's ids offset by a base, so
 	// consecutive loadgen runs against one long-lived daemon never
 	// re-present an id from an earlier run. Within a run the ids are what
@@ -214,64 +259,65 @@ func run() error {
 		idBase = int(time.Now().UnixMicro())
 	}
 
-	// Latency matching is keyed by (target, job id): standalone shards
-	// each mint ids from zero, so a bare id is ambiguous across targets.
-	type jobKey struct{ target, id int }
+	// Latency matching is keyed by (target, job id) and shared by both
+	// transports: HTTP pollers and stream readers feed the same matcher,
+	// so pushed and polled decisions go through one percentile path.
+	m := newMatcher(len(targets))
 	var (
-		mu          sync.Mutex
-		sentWall    = map[jobKey]time.Time{}
-		lats        []float64
-		lastDecided time.Time
-		rep         = report{URL: targets[0], TraceStyle: *style, NominalRate: *rate, Offered: len(jobs)}
+		mu  sync.Mutex
+		rep = report{URL: targets[0], Protocol: *protocol, TraceStyle: *style, NominalRate: *rate, Offered: len(jobs)}
 	)
 	if len(targets) > 1 {
 		rep.Targets = targets
 	}
 
-	// Pollers, one per target: tail each decision log, matching decisions
-	// to submissions. A decision can be observed before its POST response
-	// delivers the job id, so unmatched decisions are retried on later
-	// iterations. Latencies merge into one shared sample set.
+	// Decision intake, one source per target. HTTP: a poller tails
+	// /v1/decisions. Stream: a persistent connection is dialed now, and
+	// its reader goroutine receives server pushes for the whole run.
+	// Either way the cursor starts past the service's pre-existing
+	// decisions: earlier loadgen runs against the same daemon must not
+	// be matched (or counted) as this run's work.
 	stopPoll := make(chan struct{})
 	var pollWG sync.WaitGroup
-	for ti, url := range targets {
-		pollWG.Add(1)
-		go func(ti int, url string) {
-			defer pollWG.Done()
-			// Start past the service's pre-existing decisions: earlier
-			// loadgen runs against the same daemon must not be matched
-			// (or counted) as this run's work.
-			cursor := startSeqs[ti]
-			unmatched := map[int]time.Time{}
-			for {
-				ds, next, err := getDecisions(client, url, cursor)
-				mu.Lock()
-				if err == nil {
-					cursor = next
-					for _, d := range ds {
-						unmatched[d.JobID] = d.DecidedWall
-					}
-				}
-				for id, decided := range unmatched {
-					sw, ok := sentWall[jobKey{ti, id}]
-					if !ok {
-						continue
-					}
-					lats = append(lats, float64(decided.Sub(sw))/float64(time.Millisecond))
-					rep.Decided++
-					if decided.After(lastDecided) {
-						lastDecided = decided
-					}
-					delete(unmatched, id)
-				}
-				mu.Unlock()
-				select {
-				case <-stopPoll:
-					return
-				case <-time.After(*poll):
-				}
+	streams := make([]*streamTarget, len(targets))
+	if *protocol == "stream" {
+		account := func(acc, rej, errs int) {
+			mu.Lock()
+			rep.Accepted += acc
+			rep.Rejected += rej
+			rep.Errors += errs
+			mu.Unlock()
+		}
+		for ti, addr := range streamAddrs {
+			st, err := dialStreamTarget(addr, ti, startSeqs[ti], m, account)
+			if err != nil {
+				return fmt.Errorf("stream dial %s: %w", addr, err)
 			}
-		}(ti, url)
+			defer st.nc.Close()
+			streams[ti] = st
+		}
+	} else {
+		for ti, url := range targets {
+			pollWG.Add(1)
+			go func(ti int, url string) {
+				defer pollWG.Done()
+				cursor := startSeqs[ti]
+				for {
+					ds, next, err := getDecisions(client, url, cursor)
+					if err == nil {
+						cursor = next
+						for _, d := range ds {
+							m.Decided(ti, d.JobID, d.DecidedWall)
+						}
+					}
+					select {
+					case <-stopPoll:
+						return
+					case <-time.After(*poll):
+					}
+				}
+			}(ti, url)
+		}
 	}
 
 	// Timeseries sampler: every -sample interval, emit one CSV row of
@@ -293,11 +339,8 @@ func run() error {
 			start := time.Now()
 			lastN := 0
 			sample := func() {
-				mu.Lock()
-				window := append([]float64(nil), lats[lastN:]...)
-				lastN = len(lats)
-				decided := rep.Decided
-				mu.Unlock()
+				window, n, decided := m.Window(lastN)
+				lastN = n
 				elapsed := time.Since(start).Seconds()
 				if len(window) == 0 {
 					fmt.Fprintf(f, "%.3f,%d,0,,,\n", elapsed, decided)
@@ -329,6 +372,23 @@ func run() error {
 	for ti := range targets {
 		sendCh[ti] = make(chan []waterwise.JobSpec, 1024)
 		sendWG.Add(1)
+		if *protocol == "stream" {
+			// Stream sender: one Submit frame per batch; the reader
+			// goroutine does the accept/reject accounting when the reply
+			// comes back, so a send only fails here when the connection
+			// is already known broken or the batch cannot encode.
+			go func(ti int) {
+				defer sendWG.Done()
+				for specs := range sendCh[ti] {
+					if err := streams[ti].send(specs); err != nil {
+						mu.Lock()
+						rep.Errors += len(specs)
+						mu.Unlock()
+					}
+				}
+			}(ti)
+			continue
+		}
 		go func(ti int) {
 			defer sendWG.Done()
 			for specs := range sendCh[ti] {
@@ -359,10 +419,8 @@ func run() error {
 				default:
 					rep.Accepted += len(ids)
 				}
-				for _, id := range ids {
-					sentWall[jobKey{ti, id}] = sent
-				}
 				mu.Unlock()
+				m.SentBatch(ti, ids, sent)
 			}
 		}(ti)
 	}
@@ -398,13 +456,23 @@ func run() error {
 			// Ids come from the trace (globally unique), not the service:
 			// a retried batch must present the same ids to dedupe.
 			id := idBase + job.ID
-			routed[ti] = append(routed[ti], waterwise.JobSpec{
+			spec := waterwise.JobSpec{
 				ID: &id, Benchmark: job.Benchmark, Home: job.Home,
 				DurationSec:    job.Duration.Seconds(),
 				EnergyKWh:      float64(job.Energy),
 				EstDurationSec: job.EstDuration.Seconds(),
 				EstEnergyKWh:   float64(job.EstEnergy),
-			})
+			}
+			if *traceSub {
+				// Replay mode: the job arrives at its trace instant in
+				// simulated time, so an offered burst spreads over
+				// gen-window's worth of small rounds instead of being
+				// stamped into a handful of giant ones. Without this,
+				// arrival-stamped rounds grow with the backlog and the
+				// solver — not the transport — becomes the ceiling.
+				spec.Submit = job.Submit
+			}
+			routed[ti] = append(routed[ti], spec)
 		}
 		for ti := range routed {
 			if len(routed[ti]) == 0 {
@@ -430,14 +498,20 @@ func run() error {
 	sendWG.Wait()
 	sendWindow := time.Since(t0)
 
-	// Let in-flight decisions land: poll until everything accepted has
-	// decided or the drain budget runs out.
+	// Let in-flight decisions land: wait until everything accepted has
+	// decided or the drain budget runs out. In stream mode the replies
+	// must settle first, so Accepted is final before it gates the drain.
 	drainDeadline := time.Now().Add(*drain)
+	for _, st := range streams {
+		if st != nil {
+			st.waitReplies(drainDeadline)
+		}
+	}
 	for time.Now().Before(drainDeadline) {
 		mu.Lock()
-		done := rep.Decided >= rep.Accepted
+		accepted := rep.Accepted
 		mu.Unlock()
-		if done {
+		if m.DecidedCount() >= accepted {
 			break
 		}
 		time.Sleep(*poll)
@@ -445,6 +519,14 @@ func run() error {
 	close(stopPoll)
 	pollWG.Wait()
 	tsWG.Wait()
+	for _, st := range streams {
+		if st == nil {
+			continue
+		}
+		if n := st.close(); n > 0 {
+			rep.Errors += n // submitted but never replied to
+		}
+	}
 
 	// Final per-target stats: rounds and solver counters sum across the
 	// deployment (a gateway's per-shard solver stats included).
@@ -467,6 +549,8 @@ func run() error {
 	}
 	// The throughput window runs from the first submission to the last
 	// observed decision (falling back to now if nothing decided).
+	lats, decided, lastDecided := m.Results()
+	rep.Decided = decided
 	window := time.Since(t0)
 	if !lastDecided.IsZero() && lastDecided.After(t0) {
 		window = lastDecided.Sub(t0)
@@ -501,8 +585,8 @@ func run() error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(rep)
 	}
-	fmt.Printf("loadgen: %s trace, offered %d jobs in %.1fs (%.1f/s nominal %.0f/s)\n",
-		rep.TraceStyle, rep.Offered, rep.WindowSec, rep.OfferedRate, rep.NominalRate)
+	fmt.Printf("loadgen: %s trace over %s, offered %d jobs in %.1fs (%.1f/s nominal %.0f/s)\n",
+		rep.TraceStyle, rep.Protocol, rep.Offered, rep.WindowSec, rep.OfferedRate, rep.NominalRate)
 	fmt.Printf("  accepted %d, rejected %d (backpressure), errors %d, retried %d\n",
 		rep.Accepted, rep.Rejected, rep.Errors, rep.Retried)
 	fmt.Printf("  decided %d (%.1f decisions/s, %.1f rounds/s)\n", rep.Decided, rep.DecisionsSec, rep.RoundsSec)

@@ -27,6 +27,11 @@
 //	waterwised [flags]
 //
 //	-addr          listen address                            (default :8080)
+//	-stream-addr   also serve the persistent-connection
+//	               binary streaming protocol (internal/wire)
+//	               on this TCP address: batched submits,
+//	               pushed decisions, cursor resume — the
+//	               100k+/s ingest path (default: off)
 //	-round         scheduling round cadence in sim time      (default 1m)
 //	-timescale     simulated seconds per wall second; 0 runs
 //	               accelerated (rounds back to back)         (default 1)
@@ -83,6 +88,7 @@ package main
 import (
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -231,6 +237,7 @@ func parseShardMap(csv string) (map[waterwise.RegionID]int, error) {
 func run() error {
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
+		streamAddr  = flag.String("stream-addr", "", "also serve the binary streaming protocol on this TCP address (empty = off)")
 		round       = flag.Duration("round", time.Minute, "scheduling round cadence (simulated time)")
 		timescale   = flag.Float64("timescale", 1, "simulated seconds per wall second; 0 = accelerated")
 		tolerance   = flag.Float64("tolerance", 0.5, "delay tolerance fraction")
@@ -370,7 +377,12 @@ func run() error {
 		for s, part := range fl.Partitions() {
 			log.Info("shard partition", "shard", s, "regions", fmt.Sprint(part))
 		}
-		err = serve(log, *addr, fl.Handler(), fl.Stop)
+		stopStream, err := startStream(log, *streamAddr, fl)
+		if err != nil {
+			fl.Stop()
+			return err
+		}
+		err = serve(log, *addr, fl.Handler(), func() { stopStream(); fl.Stop() })
 		st := fl.Status()
 		log.Info("fleet stopped", "rounds", st.Rounds, "decisions", st.Decisions,
 			"merged", st.Merged, "lost", st.Lost, "accepted", st.Accepted,
@@ -416,7 +428,12 @@ func run() error {
 	}
 	log.Info("listening", "addr", *addr, "round", round.String(), "mode", mode,
 		"tolerance", *tolerance, "regions", fmt.Sprint(served))
-	err = serve(log, *addr, srv.Handler(), srv.Stop)
+	stopStream, err := startStream(log, *streamAddr, srv)
+	if err != nil {
+		srv.Stop()
+		return err
+	}
+	err = serve(log, *addr, srv.Handler(), func() { stopStream(); srv.Stop() })
 	st := srv.Status()
 	log.Info("stopped", "rounds", st.Rounds, "decisions", st.Decisions,
 		"accepted", st.Accepted, "rejected", st.Rejected, "unscheduled", st.Unscheduled)
@@ -474,6 +491,21 @@ func logRecovery(log *slog.Logger, who string, w *waterwise.WALStatus) {
 	}
 	log.Info("recovered durable state", "who", who, "records", w.RecoveredRecords,
 		"source", src, "recovery_ms", w.RecoveryMs, "segments", w.Segments, "appended", w.Appended)
+}
+
+// startStream opens the binary streaming listener when -stream-addr is
+// set and returns its shutdown func (a no-op when the flag is off).
+func startStream(log *slog.Logger, addr string, backend waterwise.StreamBackend) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stream listener: %w", err)
+	}
+	sl := waterwise.NewStreamListener(ln, backend, waterwise.StreamOptions{})
+	log.Info("stream listening", "addr", ln.Addr().String())
+	return func() { sl.Close() }, nil
 }
 
 // serve runs the HTTP server until SIGINT/SIGTERM or a listen error, then

@@ -18,7 +18,7 @@ import (
 // silently disappearing). Grouped const/var/type declarations may carry
 // one doc comment for the group.
 func TestExportedAPIDocumented(t *testing.T) {
-	for _, dir := range []string{".", "internal/feed", "internal/obs", "internal/region", "internal/scenario", "internal/tsdb", "internal/wal"} {
+	for _, dir := range []string{".", "internal/feed", "internal/obs", "internal/region", "internal/scenario", "internal/tsdb", "internal/wal", "internal/wire"} {
 		fset := token.NewFileSet()
 		pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
 			return !strings.HasSuffix(fi.Name(), "_test.go")

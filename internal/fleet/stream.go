@@ -1,0 +1,52 @@
+package fleet
+
+import (
+	"net"
+
+	"waterwise/internal/region"
+	"waterwise/internal/server"
+	"waterwise/internal/wire"
+)
+
+// The fleet gateway speaks the same wire protocol as a single server:
+// submits fan out to shards by home region through the usual routing
+// (including dead-shard buffering), and pushed decisions come from the
+// k-way-merged global stream, so clients see one dense seq space with
+// shard coordinates attached.
+
+// StreamSubmit implements server.StreamBackend: route the job to its
+// home shard exactly like POST /v1/jobs on the gateway.
+func (f *Fleet) StreamSubmit(spec server.JobSpec) (int, error) { return f.Submit(spec) }
+
+// StreamDecisions implements server.StreamBackend over the merged
+// global decision stream.
+func (f *Fleet) StreamDecisions(since uint64, limit int, dst []wire.Decision) ([]wire.Decision, uint64) {
+	page := f.Decisions(since, limit)
+	next := since
+	for i := range page {
+		d := &page[i]
+		dst = append(dst, server.WireDecision(d.Decision, uint32(d.Shard), d.ShardSeq))
+	}
+	if len(page) > 0 {
+		next = page[len(page)-1].Seq
+	}
+	return dst, next
+}
+
+// StreamInfo implements server.StreamBackend: merged-log bounds plus
+// the full fleet region set.
+func (f *Fleet) StreamInfo() (last, oldest uint64, regions []region.ID) {
+	f.mu.Lock()
+	f.mergeLocked()
+	last = f.seq
+	if n := len(f.merged); n > 0 {
+		oldest = f.merged[f.head%n].Seq
+	}
+	f.mu.Unlock()
+	return last, oldest, f.cfg.Env.IDs()
+}
+
+// ServeStream starts a stream listener for this fleet's gateway on ln.
+func (f *Fleet) ServeStream(ln net.Listener, opts server.StreamOptions) *server.StreamListener {
+	return server.NewStreamListener(ln, f, opts)
+}

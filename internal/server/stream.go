@@ -1,0 +1,468 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"waterwise/internal/region"
+	"waterwise/internal/wire"
+)
+
+// StreamBackend is the surface a streaming session needs from its
+// ingest target. Both *Server and *fleet.Fleet implement it, so one
+// StreamListener serves either a single server or a sharded gateway.
+type StreamBackend interface {
+	// StreamSubmit ingests one job with POST /v1/jobs semantics: same
+	// typed errors, same dedupe index, same queue backpressure.
+	StreamSubmit(spec JobSpec) (int, error)
+	// StreamDecisions appends up to limit decisions with Seq > since
+	// into dst and returns the extended slice plus the cursor to
+	// resume from (the last appended Seq, or since when none).
+	StreamDecisions(since uint64, limit int, dst []wire.Decision) ([]wire.Decision, uint64)
+	// StreamInfo reports the decision log bounds (newest and oldest
+	// retained seq) and the served regions, for the Welcome frame.
+	StreamInfo() (last, oldest uint64, regions []region.ID)
+}
+
+// StreamOptions tunes a StreamListener. The zero value uses defaults.
+type StreamOptions struct {
+	// PushInterval is the idle poll cadence of the decision pusher
+	// (default 1ms). When decisions are flowing the pusher loops
+	// without sleeping.
+	PushInterval time.Duration
+	// PushBatch caps decisions per pushed frame (default 2048).
+	PushBatch int
+	// PushWindow caps pushed-but-unacked decisions per connection
+	// (default 65536). When a slow client stops acking, the server
+	// stops pushing instead of buffering unboundedly — the stream
+	// analogue of HTTP 429. Negative disables windowing.
+	PushWindow int
+}
+
+func (o *StreamOptions) withDefaults() StreamOptions {
+	out := *o
+	if out.PushInterval <= 0 {
+		out.PushInterval = time.Millisecond
+	}
+	if out.PushBatch <= 0 {
+		out.PushBatch = 2048
+	}
+	if out.PushWindow == 0 {
+		out.PushWindow = 65536
+	}
+	return out
+}
+
+// StreamListener accepts persistent binary-protocol connections
+// (internal/wire) alongside the HTTP mux and serves them against a
+// StreamBackend: batched submits in, batched decision pushes out, with
+// a cursor-resume handshake. Close shuts it down and waits for every
+// connection goroutine to exit.
+type StreamListener struct {
+	backend StreamBackend
+	opts    StreamOptions
+	ln      net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewStreamListener starts serving the wire protocol on ln against
+// backend. It returns immediately; connections are handled on their
+// own goroutines until Close.
+func NewStreamListener(ln net.Listener, backend StreamBackend, opts StreamOptions) *StreamListener {
+	l := &StreamListener{
+		backend: backend,
+		opts:    opts.withDefaults(),
+		ln:      ln,
+		conns:   make(map[net.Conn]struct{}),
+	}
+	l.wg.Add(1)
+	go l.acceptLoop()
+	return l
+}
+
+// ServeStream starts a StreamListener for this server on ln.
+func (s *Server) ServeStream(ln net.Listener, opts StreamOptions) *StreamListener {
+	return NewStreamListener(ln, s, opts)
+}
+
+// Addr returns the listener's address (useful with ":0" listeners).
+func (l *StreamListener) Addr() net.Addr { return l.ln.Addr() }
+
+// ConnCount returns the number of live connections.
+func (l *StreamListener) ConnCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.conns)
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// all connection goroutines to finish.
+func (l *StreamListener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		l.wg.Wait()
+		return nil
+	}
+	l.closed = true
+	err := l.ln.Close()
+	for nc := range l.conns {
+		nc.Close()
+	}
+	l.mu.Unlock()
+	l.wg.Wait()
+	return err
+}
+
+func (l *StreamListener) acceptLoop() {
+	defer l.wg.Done()
+	for {
+		nc, err := l.ln.Accept()
+		if err != nil {
+			l.mu.Lock()
+			closed := l.closed
+			l.mu.Unlock()
+			if closed {
+				return
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		l.mu.Lock()
+		if l.closed {
+			l.mu.Unlock()
+			nc.Close()
+			return
+		}
+		l.conns[nc] = struct{}{}
+		l.wg.Add(1)
+		l.mu.Unlock()
+		go l.serveConn(nc)
+	}
+}
+
+// streamSession is the per-connection state shared between the read
+// loop and the decision pusher.
+type streamSession struct {
+	conn    *wire.Conn
+	lastAck atomic.Uint64
+	stop    chan struct{}
+	pushed  sync.WaitGroup
+}
+
+func (l *StreamListener) serveConn(nc net.Conn) {
+	defer func() {
+		nc.Close()
+		l.mu.Lock()
+		delete(l.conns, nc)
+		l.mu.Unlock()
+		l.wg.Done()
+	}()
+
+	conn := wire.NewConn(nc)
+	ss := &streamSession{conn: conn, stop: make(chan struct{})}
+
+	// Handshake: the first frame must be Hello; the reply is Welcome
+	// with the log bounds and region set.
+	typ, payload, err := conn.ReadFrame()
+	if err != nil {
+		return
+	}
+	if typ != wire.TypeHello {
+		l.sendError(conn, wire.ErrCodeProtocol, "expected hello frame")
+		return
+	}
+	hello, err := conn.Codec().DecodeHello(payload)
+	if err != nil {
+		l.sendError(conn, wire.ErrCodeProtocol, "malformed hello")
+		return
+	}
+	last, oldest, regions := l.backend.StreamInfo()
+	welcome := wire.Welcome{LastSeq: last, Oldest: oldest, Regions: make([]string, len(regions))}
+	for i, r := range regions {
+		welcome.Regions[i] = string(r)
+	}
+	wbuf, err := wire.AppendWelcome(nil, welcome)
+	if err != nil {
+		return
+	}
+	if err := conn.WriteFrame(wire.TypeWelcome, wbuf); err != nil {
+		return
+	}
+
+	ss.lastAck.Store(hello.Resume)
+	if hello.Flags&wire.HelloSubscribe != 0 {
+		ss.pushed.Add(1)
+		go l.pushDecisions(ss, hello.Resume)
+	}
+	l.readLoop(ss)
+	close(ss.stop)
+	nc.Close() // unblock a pusher mid-write
+	ss.pushed.Wait()
+}
+
+// readLoop ingests Submit and Ack frames until the connection errors
+// or the client closes. A frame is fully decoded before any job is
+// submitted, so a torn frame never half-ingests a batch.
+func (l *StreamListener) readLoop(ss *streamSession) {
+	var (
+		jobs    []wire.Job
+		results []wire.SubmitResult
+		scratch []byte
+	)
+	for {
+		typ, payload, err := ss.conn.ReadFrame()
+		if err != nil {
+			return // disconnect (clean or torn); nothing partial was applied
+		}
+		switch typ {
+		case wire.TypeSubmit:
+			jobs, err = ss.conn.Codec().DecodeSubmit(payload, jobs[:0])
+			if err != nil {
+				l.sendError(ss.conn, wire.ErrCodeProtocol, "malformed submit")
+				return
+			}
+			results = results[:0]
+			for i := range jobs {
+				id, err := l.backend.StreamSubmit(JobSpecFromWire(&jobs[i]))
+				res := wire.SubmitResult{Code: SubmitErrorCode(err)}
+				if err == nil {
+					res.ID = int64(id)
+				}
+				results = append(results, res)
+			}
+			scratch = wire.AppendSubmitReply(scratch[:0], results)
+			if err := ss.conn.WriteFrame(wire.TypeSubmitReply, scratch); err != nil {
+				return
+			}
+		case wire.TypeAck:
+			seq, err := ss.conn.Codec().DecodeAck(payload)
+			if err != nil {
+				l.sendError(ss.conn, wire.ErrCodeProtocol, "malformed ack")
+				return
+			}
+			ss.lastAck.Store(seq)
+		default:
+			l.sendError(ss.conn, wire.ErrCodeProtocol, fmt.Sprintf("unexpected frame type %d", typ))
+			return
+		}
+	}
+}
+
+// pushDecisions streams the backend's decision log to the client from
+// resume onward: poll a page, encode, write, repeat — sleeping only
+// when the log is drained or the client's ack window is full.
+func (l *StreamListener) pushDecisions(ss *streamSession, resume uint64) {
+	defer ss.pushed.Done()
+	cursor := resume
+	var (
+		page    []wire.Decision
+		scratch []byte
+	)
+	timer := time.NewTimer(l.opts.PushInterval)
+	defer timer.Stop()
+	wait := func() bool {
+		timer.Reset(l.opts.PushInterval)
+		select {
+		case <-ss.stop:
+			return false
+		case <-timer.C:
+			return true
+		}
+	}
+	for {
+		select {
+		case <-ss.stop:
+			return
+		default:
+		}
+		limit := l.opts.PushBatch
+		if l.opts.PushWindow > 0 {
+			inflight := int64(cursor) - int64(ss.lastAck.Load())
+			if inflight < 0 {
+				inflight = 0
+			}
+			room := int64(l.opts.PushWindow) - inflight
+			if room <= 0 {
+				if !wait() {
+					return
+				}
+				continue
+			}
+			if room < int64(limit) {
+				limit = int(room)
+			}
+		}
+		var next uint64
+		page, next = l.backend.StreamDecisions(cursor, limit, page[:0])
+		if len(page) == 0 {
+			if !wait() {
+				return
+			}
+			continue
+		}
+		var err error
+		scratch, err = wire.AppendDecisions(scratch[:0], next, page)
+		if err != nil {
+			return
+		}
+		if err := ss.conn.WriteFrame(wire.TypeDecisions, scratch); err != nil {
+			return
+		}
+		cursor = next
+	}
+}
+
+// sendError best-effort writes a terminal Error frame; the caller
+// closes the connection right after.
+func (l *StreamListener) sendError(conn *wire.Conn, code wire.ErrCode, msg string) {
+	_ = conn.WriteFrame(wire.TypeError, wire.AppendError(nil, code, msg))
+}
+
+// SubmitErrorCode maps a Submit error to its wire result code, the
+// stream analogue of SubmitErrorStatus.
+func SubmitErrorCode(err error) wire.SubmitCode {
+	switch {
+	case err == nil:
+		return wire.SubmitOK
+	case errors.Is(err, ErrQueueFull):
+		return wire.SubmitQueueFull
+	case errors.Is(err, ErrStopped):
+		return wire.SubmitStopped
+	case errors.Is(err, ErrUnknownRegion):
+		return wire.SubmitUnknownRegion
+	case errors.Is(err, ErrUnknownBenchmark):
+		return wire.SubmitUnknownBenchmark
+	case errors.Is(err, ErrDuplicateID):
+		return wire.SubmitDuplicateID
+	case errors.Is(err, ErrOutsideHorizon):
+		return wire.SubmitOutsideHorizon
+	default:
+		return wire.SubmitInvalid
+	}
+}
+
+// NanoTime converts wire Unix nanoseconds to a time.Time, honoring the
+// wire.TimeNone zero-time sentinel.
+func NanoTime(n int64) time.Time {
+	if n == wire.TimeNone {
+		return time.Time{}
+	}
+	return time.Unix(0, n).UTC()
+}
+
+// TimeNano converts a time.Time to wire Unix nanoseconds, encoding the
+// zero time as wire.TimeNone.
+func TimeNano(t time.Time) int64 {
+	if t.IsZero() {
+		return wire.TimeNone
+	}
+	return t.UnixNano()
+}
+
+// JobSpecFromWire converts a decoded wire job to a JobSpec.
+func JobSpecFromWire(j *wire.Job) JobSpec {
+	spec := JobSpec{
+		Benchmark:      j.Benchmark,
+		Home:           region.ID(j.Home),
+		Submit:         NanoTime(j.SubmitNano),
+		DurationSec:    j.DurationSec,
+		EnergyKWh:      j.EnergyKWh,
+		EstDurationSec: j.EstDurationSec,
+		EstEnergyKWh:   j.EstEnergyKWh,
+	}
+	if j.HasID {
+		id := int(j.ID)
+		spec.ID = &id
+	}
+	return spec
+}
+
+// WireJob converts a JobSpec to its wire form (the client-side encode
+// helper loadgen and the tests share).
+func WireJob(spec JobSpec) wire.Job {
+	j := wire.Job{
+		Benchmark:      spec.Benchmark,
+		Home:           string(spec.Home),
+		SubmitNano:     TimeNano(spec.Submit),
+		DurationSec:    spec.DurationSec,
+		EnergyKWh:      spec.EnergyKWh,
+		EstDurationSec: spec.EstDurationSec,
+		EstEnergyKWh:   spec.EstEnergyKWh,
+	}
+	if spec.ID != nil {
+		j.HasID = true
+		j.ID = int64(*spec.ID)
+	}
+	return j
+}
+
+// WireDecision converts a decision to its wire form. shard and
+// shardSeq carry the fleet coordinates; a single server passes 0 and
+// d.Seq.
+func WireDecision(d Decision, shard uint32, shardSeq uint64) wire.Decision {
+	return wire.Decision{
+		Seq:             d.Seq,
+		JobID:           int64(d.JobID),
+		Shard:           shard,
+		ShardSeq:        shardSeq,
+		RoundNano:       TimeNano(d.Round),
+		StartNano:       TimeNano(d.Start),
+		FinishNano:      TimeNano(d.Finish),
+		DecidedWallNano: TimeNano(d.DecidedWall),
+		CarbonG:         d.CarbonG,
+		WaterL:          d.WaterL,
+		Region:          string(d.Region),
+	}
+}
+
+// DecisionFromWire converts a decoded wire decision back to the server
+// form (the client-side decode helper).
+func DecisionFromWire(d *wire.Decision) Decision {
+	return Decision{
+		Seq:         d.Seq,
+		JobID:       int(d.JobID),
+		Region:      region.ID(d.Region),
+		Round:       NanoTime(d.RoundNano),
+		Start:       NanoTime(d.StartNano),
+		Finish:      NanoTime(d.FinishNano),
+		CarbonG:     d.CarbonG,
+		WaterL:      d.WaterL,
+		DecidedWall: NanoTime(d.DecidedWallNano),
+	}
+}
+
+// StreamSubmit implements StreamBackend for a single server.
+func (s *Server) StreamSubmit(spec JobSpec) (int, error) { return s.Submit(spec) }
+
+// StreamDecisions implements StreamBackend for a single server: shard
+// is always 0 and ShardSeq mirrors the global seq.
+func (s *Server) StreamDecisions(since uint64, limit int, dst []wire.Decision) ([]wire.Decision, uint64) {
+	page, _ := s.DecisionsPage(since, limit)
+	next := since
+	for i := range page {
+		dst = append(dst, WireDecision(page[i], 0, page[i].Seq))
+	}
+	if len(page) > 0 {
+		next = page[len(page)-1].Seq
+	}
+	return dst, next
+}
+
+// StreamInfo implements StreamBackend for a single server.
+func (s *Server) StreamInfo() (last, oldest uint64, regions []region.ID) {
+	_, cur := s.DecisionsPage(math.MaxUint64, 1)
+	return cur.Seq, cur.Oldest, s.Regions()
+}

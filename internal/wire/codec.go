@@ -1,0 +1,393 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Codec holds decoder state that lets the hot path run allocation-free:
+// an intern table for region and benchmark names, which come from small
+// fixed sets, so after warm-up every decoded string is a map hit rather
+// than a fresh allocation. A Codec is not safe for concurrent use; use
+// one per connection (Conn embeds one).
+type Codec struct {
+	names map[string]string
+}
+
+// intern returns a string equal to b, reusing a previously-decoded
+// instance when possible. The m[string(b)] lookup compiles to a
+// no-allocation map access; only the first sighting of a name copies it.
+func (c *Codec) intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := c.names[string(b)]; ok {
+		return s
+	}
+	if c.names == nil {
+		c.names = make(map[string]string, 16)
+	}
+	s := string(b)
+	c.names[s] = s
+	return s
+}
+
+// reader is a bounds-checked cursor over a payload. After any read
+// fails, every later read returns zero values and r.bad stays true, so
+// decoders can check once at the end.
+type reader struct {
+	p   []byte
+	off int
+	bad bool
+}
+
+func (r *reader) u8() uint8 {
+	if r.bad || r.off+1 > len(r.p) {
+		r.bad = true
+		return 0
+	}
+	v := r.p[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.bad || r.off+4 > len(r.p) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.p[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.bad || r.off+8 > len(r.p) {
+		r.bad = true
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.p[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) i64() int64 { return int64(r.u64()) }
+
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// bytes8 reads a one-byte-length-prefixed byte string, aliasing r.p.
+func (r *reader) bytes8() []byte {
+	n := int(r.u8())
+	if r.bad || r.off+n > len(r.p) {
+		r.bad = true
+		return nil
+	}
+	b := r.p[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// done returns ErrBadPayload (wrapped with what) unless the whole
+// payload parsed cleanly with no trailing bytes.
+func (r *reader) done(what string) error {
+	if r.bad {
+		return fmt.Errorf("%w: short %s", ErrBadPayload, what)
+	}
+	if r.off != len(r.p) {
+		return fmt.Errorf("%w: %d trailing bytes after %s", ErrBadPayload, len(r.p)-r.off, what)
+	}
+	return nil
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(dst, v)
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, v)
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+// appendStr8 appends a one-byte-length-prefixed string. Strings longer
+// than 255 bytes cannot be encoded; EncodeXxx callers validate first.
+func appendStr8(dst []byte, s string) []byte {
+	dst = append(dst, byte(len(s)))
+	return append(dst, s...)
+}
+
+// str8OK reports whether s fits a one-byte length prefix.
+func str8OK(s string) bool { return len(s) <= 255 }
+
+// Minimum encoded sizes per element, used to validate declared counts
+// against the actual payload length BEFORE allocating result slices —
+// a hostile count can never force an allocation larger than the
+// (already MaxPayload-bounded) payload itself.
+const (
+	minJobSize      = 1 + 8 + 8 + 4*8 + 1 + 1 // flags, id, submit, 4 floats, 2 empty strings
+	minResultSize   = 1 + 8                   // code, id
+	minDecisionSize = 8 + 8 + 4 + 8 + 4*8 + 2*8 + 1
+)
+
+// checkCount validates a declared element count against the remaining
+// payload bytes and minimum element size.
+func checkCount(r *reader, count uint32, minSize int, what string) error {
+	rem := len(r.p) - r.off
+	if int64(count)*int64(minSize) > int64(rem) {
+		return fmt.Errorf("%w: %s count %d exceeds %d payload bytes", ErrBadPayload, what, count, rem)
+	}
+	return nil
+}
+
+// AppendHello appends a Hello payload to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = appendU64(dst, h.Resume)
+	return appendU32(dst, h.Flags)
+}
+
+// DecodeHello parses a Hello payload.
+func (c *Codec) DecodeHello(p []byte) (Hello, error) {
+	r := reader{p: p}
+	h := Hello{Resume: r.u64(), Flags: r.u32()}
+	return h, r.done("hello")
+}
+
+// AppendWelcome appends a Welcome payload to dst. Region names longer
+// than 255 bytes are rejected.
+func AppendWelcome(dst []byte, w Welcome) ([]byte, error) {
+	dst = appendU64(dst, w.LastSeq)
+	dst = appendU64(dst, w.Oldest)
+	dst = appendU32(dst, uint32(len(w.Regions)))
+	for _, reg := range w.Regions {
+		if !str8OK(reg) {
+			return nil, fmt.Errorf("%w: region name %q too long", ErrBadPayload, reg)
+		}
+		dst = appendStr8(dst, reg)
+	}
+	return dst, nil
+}
+
+// DecodeWelcome parses a Welcome payload. Welcome is handshake-only,
+// so its region slice is freshly allocated.
+func (c *Codec) DecodeWelcome(p []byte) (Welcome, error) {
+	r := reader{p: p}
+	w := Welcome{LastSeq: r.u64(), Oldest: r.u64()}
+	count := r.u32()
+	if err := checkCount(&r, count, 1, "region"); err != nil {
+		return Welcome{}, err
+	}
+	if count > 0 && !r.bad {
+		w.Regions = make([]string, 0, count)
+		for i := uint32(0); i < count; i++ {
+			w.Regions = append(w.Regions, c.intern(r.bytes8()))
+		}
+	}
+	if err := r.done("welcome"); err != nil {
+		return Welcome{}, err
+	}
+	return w, nil
+}
+
+// appendJob appends one encoded Job.
+func appendJob(dst []byte, j Job) []byte {
+	var flags byte
+	if j.HasID {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = appendU64(dst, uint64(j.ID))
+	dst = appendU64(dst, uint64(j.SubmitNano))
+	dst = appendF64(dst, j.DurationSec)
+	dst = appendF64(dst, j.EnergyKWh)
+	dst = appendF64(dst, j.EstDurationSec)
+	dst = appendF64(dst, j.EstEnergyKWh)
+	dst = appendStr8(dst, j.Benchmark)
+	return appendStr8(dst, j.Home)
+}
+
+// AppendSubmit appends a Submit payload (a batch of jobs) to dst.
+// Benchmark or region names longer than 255 bytes are rejected.
+func AppendSubmit(dst []byte, jobs []Job) ([]byte, error) {
+	for i := range jobs {
+		if !str8OK(jobs[i].Benchmark) || !str8OK(jobs[i].Home) {
+			return nil, fmt.Errorf("%w: job %d has a name longer than 255 bytes", ErrBadPayload, i)
+		}
+	}
+	dst = appendU32(dst, uint32(len(jobs)))
+	for i := range jobs {
+		dst = appendJob(dst, jobs[i])
+	}
+	return dst, nil
+}
+
+// DecodeSubmit parses a Submit payload, appending into dst (pass a
+// reused slice's [:0] for an allocation-free steady state).
+func (c *Codec) DecodeSubmit(p []byte, dst []Job) ([]Job, error) {
+	r := reader{p: p}
+	count := r.u32()
+	if r.bad {
+		return nil, r.done("submit")
+	}
+	if err := checkCount(&r, count, minJobSize, "job"); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < count; i++ {
+		flags := r.u8()
+		j := Job{
+			HasID:          flags&1 != 0,
+			ID:             r.i64(),
+			SubmitNano:     r.i64(),
+			DurationSec:    r.f64(),
+			EnergyKWh:      r.f64(),
+			EstDurationSec: r.f64(),
+			EstEnergyKWh:   r.f64(),
+			Benchmark:      c.intern(r.bytes8()),
+			Home:           c.intern(r.bytes8()),
+		}
+		if flags&^byte(1) != 0 {
+			return nil, fmt.Errorf("%w: job %d has unknown flags 0x%02x", ErrBadPayload, i, flags)
+		}
+		if r.bad {
+			break
+		}
+		dst = append(dst, j)
+	}
+	if err := r.done("submit"); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// AppendSubmitReply appends a SubmitReply payload to dst.
+func AppendSubmitReply(dst []byte, results []SubmitResult) []byte {
+	dst = appendU32(dst, uint32(len(results)))
+	for _, res := range results {
+		dst = append(dst, byte(res.Code))
+		dst = appendU64(dst, uint64(res.ID))
+	}
+	return dst
+}
+
+// DecodeSubmitReply parses a SubmitReply payload, appending into dst.
+func (c *Codec) DecodeSubmitReply(p []byte, dst []SubmitResult) ([]SubmitResult, error) {
+	r := reader{p: p}
+	count := r.u32()
+	if r.bad {
+		return nil, r.done("submit reply")
+	}
+	if err := checkCount(&r, count, minResultSize, "result"); err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < count; i++ {
+		res := SubmitResult{Code: SubmitCode(r.u8()), ID: r.i64()}
+		if res.Code > SubmitInvalid {
+			return nil, fmt.Errorf("%w: unknown submit code %d", ErrBadPayload, res.Code)
+		}
+		if r.bad {
+			break
+		}
+		dst = append(dst, res)
+	}
+	if err := r.done("submit reply"); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// AppendDecisions appends a Decisions payload to dst. next is the
+// cursor the client should resume from after consuming the batch (the
+// last decision's seq). Region names longer than 255 bytes are
+// rejected.
+func AppendDecisions(dst []byte, next uint64, decisions []Decision) ([]byte, error) {
+	for i := range decisions {
+		if !str8OK(decisions[i].Region) {
+			return nil, fmt.Errorf("%w: decision %d region name too long", ErrBadPayload, i)
+		}
+	}
+	dst = appendU64(dst, next)
+	dst = appendU32(dst, uint32(len(decisions)))
+	for i := range decisions {
+		d := &decisions[i]
+		dst = appendU64(dst, d.Seq)
+		dst = appendU64(dst, uint64(d.JobID))
+		dst = appendU32(dst, d.Shard)
+		dst = appendU64(dst, d.ShardSeq)
+		dst = appendU64(dst, uint64(d.RoundNano))
+		dst = appendU64(dst, uint64(d.StartNano))
+		dst = appendU64(dst, uint64(d.FinishNano))
+		dst = appendU64(dst, uint64(d.DecidedWallNano))
+		dst = appendF64(dst, d.CarbonG)
+		dst = appendF64(dst, d.WaterL)
+		dst = appendStr8(dst, d.Region)
+	}
+	return dst, nil
+}
+
+// DecodeDecisions parses a Decisions payload, appending into dst.
+func (c *Codec) DecodeDecisions(p []byte, dst []Decision) (out []Decision, next uint64, err error) {
+	r := reader{p: p}
+	next = r.u64()
+	count := r.u32()
+	if r.bad {
+		return nil, 0, r.done("decisions")
+	}
+	if err := checkCount(&r, count, minDecisionSize, "decision"); err != nil {
+		return nil, 0, err
+	}
+	for i := uint32(0); i < count; i++ {
+		d := Decision{
+			Seq:             r.u64(),
+			JobID:           r.i64(),
+			Shard:           r.u32(),
+			ShardSeq:        r.u64(),
+			RoundNano:       r.i64(),
+			StartNano:       r.i64(),
+			FinishNano:      r.i64(),
+			DecidedWallNano: r.i64(),
+			CarbonG:         r.f64(),
+			WaterL:          r.f64(),
+			Region:          c.intern(r.bytes8()),
+		}
+		if r.bad {
+			break
+		}
+		dst = append(dst, d)
+	}
+	if err := r.done("decisions"); err != nil {
+		return nil, 0, err
+	}
+	return dst, next, nil
+}
+
+// AppendAck appends an Ack payload to dst.
+func AppendAck(dst []byte, seq uint64) []byte {
+	return appendU64(dst, seq)
+}
+
+// DecodeAck parses an Ack payload.
+func (c *Codec) DecodeAck(p []byte) (uint64, error) {
+	r := reader{p: p}
+	seq := r.u64()
+	return seq, r.done("ack")
+}
+
+// AppendError appends an Error payload to dst; msg is truncated to 255
+// bytes.
+func AppendError(dst []byte, code ErrCode, msg string) []byte {
+	if len(msg) > 255 {
+		msg = msg[:255]
+	}
+	dst = append(dst, byte(code))
+	return appendStr8(dst, msg)
+}
+
+// DecodeError parses an Error payload.
+func (c *Codec) DecodeError(p []byte) (ErrCode, string, error) {
+	r := reader{p: p}
+	code := ErrCode(r.u8())
+	msg := string(r.bytes8())
+	return code, msg, r.done("error")
+}

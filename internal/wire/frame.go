@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Typed frame-layer errors. Decoders wrap these with detail via %w, so
+// callers test with errors.Is.
+var (
+	// ErrBadMagic: the frame does not open with Magic.
+	ErrBadMagic = errors.New("wire: bad magic")
+	// ErrVersion: the frame declares an unsupported protocol version.
+	ErrVersion = errors.New("wire: unsupported version")
+	// ErrUnknownType: the frame declares an unassigned frame type.
+	ErrUnknownType = errors.New("wire: unknown frame type")
+	// ErrReserved: the reserved header bytes are non-zero.
+	ErrReserved = errors.New("wire: reserved header bytes set")
+	// ErrTooLarge: the declared payload length exceeds MaxPayload.
+	ErrTooLarge = errors.New("wire: frame exceeds max payload")
+	// ErrChecksum: the payload does not match the header CRC32-C.
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	// ErrTruncated: the input ends before the declared frame does
+	// (a torn or partial frame).
+	ErrTruncated = errors.New("wire: truncated frame")
+	// ErrBadPayload: the payload does not parse as the declared frame
+	// type.
+	ErrBadPayload = errors.New("wire: malformed payload")
+)
+
+// castagnoli is the CRC32-C table used for payload checksums.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum returns the CRC32-C of the payload, as carried in the frame
+// header.
+func Checksum(payload []byte) uint32 {
+	return crc32.Checksum(payload, castagnoli)
+}
+
+// putHeader writes a frame header for a payload of length n with
+// checksum crc into hdr, which must be at least HeaderSize bytes.
+func putHeader(hdr []byte, t Type, n int, crc uint32) {
+	binary.LittleEndian.PutUint32(hdr[0:4], Magic)
+	hdr[4] = Version
+	hdr[5] = byte(t)
+	hdr[6] = 0
+	hdr[7] = 0
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(n))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc)
+}
+
+// parseHeader validates a HeaderSize-byte header and returns the frame
+// type, declared payload length, and declared checksum.
+func parseHeader(hdr []byte) (t Type, n int, crc uint32, err error) {
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != Magic {
+		return 0, 0, 0, fmt.Errorf("%w: 0x%08x", ErrBadMagic, got)
+	}
+	if hdr[4] != Version {
+		return 0, 0, 0, fmt.Errorf("%w: %d", ErrVersion, hdr[4])
+	}
+	t = Type(hdr[5])
+	if t == 0 || t > maxType {
+		return 0, 0, 0, fmt.Errorf("%w: %d", ErrUnknownType, hdr[5])
+	}
+	if hdr[6] != 0 || hdr[7] != 0 {
+		return 0, 0, 0, ErrReserved
+	}
+	length := binary.LittleEndian.Uint32(hdr[8:12])
+	if length > MaxPayload {
+		return 0, 0, 0, fmt.Errorf("%w: %d bytes", ErrTooLarge, length)
+	}
+	return t, int(length), binary.LittleEndian.Uint32(hdr[12:16]), nil
+}
+
+// AppendFrame appends a complete frame (header + payload) for t to dst
+// and returns the extended slice. It never fails: payload length is
+// the caller's to bound (WriteFrame and ReadFrame enforce MaxPayload).
+func AppendFrame(dst []byte, t Type, payload []byte) []byte {
+	var hdr [HeaderSize]byte
+	putHeader(hdr[:], t, len(payload), Checksum(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// DecodeFrame parses the first complete frame in b. The returned
+// payload aliases b (zero copy); n is the total frame size consumed,
+// so b[n:] starts the next frame. A short buffer returns ErrTruncated:
+// callers streaming from a socket should read more and retry (Conn
+// does this internally).
+func DecodeFrame(b []byte) (t Type, payload []byte, n int, err error) {
+	if len(b) < HeaderSize {
+		return 0, nil, 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(b))
+	}
+	t, plen, crc, err := parseHeader(b[:HeaderSize])
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	if len(b) < HeaderSize+plen {
+		return 0, nil, 0, fmt.Errorf("%w: have %d of %d payload bytes",
+			ErrTruncated, len(b)-HeaderSize, plen)
+	}
+	payload = b[HeaderSize : HeaderSize+plen]
+	if Checksum(payload) != crc {
+		return 0, nil, 0, ErrChecksum
+	}
+	return t, payload, HeaderSize + plen, nil
+}

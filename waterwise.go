@@ -19,6 +19,7 @@ package waterwise
 
 import (
 	"fmt"
+	"net"
 	"os"
 	"time"
 
@@ -493,6 +494,30 @@ type (
 
 // ErrQueueFull is the online service's backpressure rejection.
 var ErrQueueFull = server.ErrQueueFull
+
+// Streaming-ingest types: the persistent-connection binary protocol
+// (internal/wire) served alongside the HTTP mux. Both *Server and
+// *Fleet implement StreamBackend, so either can sit behind a
+// StreamListener (waterwised -stream-addr).
+type (
+	// StreamBackend is the ingest/decision surface a StreamListener
+	// serves: stream submits with POST /v1/jobs semantics and decision
+	// pages from the seq-dense log.
+	StreamBackend = server.StreamBackend
+	// StreamListener accepts persistent wire-protocol connections:
+	// batched submits in, batched decision pushes out, cursor-resume
+	// handshake.
+	StreamListener = server.StreamListener
+	// StreamOptions tunes a StreamListener (push cadence, batch size,
+	// ack window); the zero value uses defaults.
+	StreamOptions = server.StreamOptions
+)
+
+// NewStreamListener serves the binary streaming protocol on ln against
+// a Server or Fleet, alongside (not instead of) its HTTP handler.
+func NewStreamListener(ln net.Listener, backend StreamBackend, opts StreamOptions) *StreamListener {
+	return server.NewStreamListener(ln, backend, opts)
+}
 
 // ServerConfig configures the online scheduling service. Zero values take
 // the service defaults: a 1-minute round cadence, accelerated time, 65536
